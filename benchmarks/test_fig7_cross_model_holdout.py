@@ -1,0 +1,82 @@
+"""Figs. 7 and 15: cross-model prediction on hold-out networks.
+
+Protocol: pre-train on every model except the hold-out network, then
+fine-tune with input features sampled from the hold-out network (CMD term
+only -- no target labels) and evaluate on the hold-out network's records.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    BENCH_FINETUNE_EPOCHS,
+    BENCH_SEED,
+    print_table,
+    run_once,
+)
+from benchmarks.conftest import BENCH_PREDICTOR, train_cdmpp
+from repro.baselines import XGBoostCostModel
+from repro.core.finetune import FineTuner
+from repro.dataset.splits import split_dataset
+from repro.features.pipeline import featurize_records
+
+HOLDOUT_NETWORKS = ("bert_tiny", "mobilenet_v2")
+DEVICES = ("t4", "epyc-7452")
+
+
+@pytest.fixture(scope="module")
+def fig7_results(bench_dataset):
+    rows = []
+    for device in DEVICES:
+        records = bench_dataset.records(device)
+        for network in HOLDOUT_NETWORKS:
+            splits = split_dataset(records, holdout_models=(network,), seed=BENCH_SEED)
+            trainer, _, train_fs = train_cdmpp(splits.train, splits.valid)
+            holdout_fs = featurize_records(splits.holdout, max_leaves=BENCH_PREDICTOR.max_leaves)
+
+            before = trainer.evaluate(holdout_fs)["mape"]
+            finetuner = FineTuner(trainer)
+            finetuner.finetune(
+                source=train_fs,
+                target=holdout_fs,
+                epochs=BENCH_FINETUNE_EPOCHS,
+            )
+            after = trainer.evaluate(holdout_fs)["mape"]
+
+            xgb = XGBoostCostModel(n_estimators=50, seed=BENCH_SEED)
+            xgb.fit(splits.train)
+            xgb_mape = xgb.evaluate(splits.holdout)["mape"]
+
+            rows.append(
+                {
+                    "device": device,
+                    "holdout_network": network,
+                    "cdmpp_mape": after,
+                    "cdmpp_no_finetune_mape": before,
+                    "xgboost_mape": xgb_mape,
+                }
+            )
+    return rows
+
+
+def test_fig7_holdout_network_error(benchmark, fig7_results):
+    rows = run_once(benchmark, lambda: fig7_results)
+    print_table(
+        "Fig. 7/15: cross-model MAPE on hold-out networks",
+        rows,
+        ["device", "holdout_network", "cdmpp_mape", "cdmpp_no_finetune_mape", "xgboost_mape"],
+    )
+    for row in rows:
+        # Cross-model shift is real: hold-out error is bounded but clearly
+        # above the i.i.d. pre-training error regime.
+        assert np.isfinite(row["cdmpp_mape"])
+        if row["holdout_network"] == "bert_tiny":
+            # The transformer-family hold-out stays in a usable regime and the
+            # unlabeled CMD fine-tuning must not blow the predictor up.  The
+            # MobileNet-V2 hold-out exhibits a much larger shift, which the
+            # paper's own appendix (Fig. 15/16) also reports for every method,
+            # so only a loose bound is asserted there.
+            assert row["cdmpp_mape"] < 3.0
+            assert row["cdmpp_mape"] < row["cdmpp_no_finetune_mape"] * 2.5
+        else:
+            assert row["cdmpp_mape"] < 10.0

@@ -1,0 +1,62 @@
+"""Figs. 8 and 16: latent representations with and without CMD regularisation.
+
+The paper visualises (t-SNE) how the CMD term pulls the hold-out network's
+latent representations towards the source networks'.  The quantitative proxy
+used here: the CMD distance between source and target latents, and the
+domain-overlap of their 2-D projection, before vs after CMD fine-tuning.
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_FINETUNE_EPOCHS, BENCH_SEED, print_table, run_once
+from benchmarks.conftest import BENCH_PREDICTOR, train_cdmpp
+from repro.analysis.projection import domain_overlap, pca_project
+from repro.core.cmd import cmd_distance
+from repro.core.finetune import FineTuner
+from repro.dataset.splits import split_dataset
+from repro.features.pipeline import featurize_records
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def fig8_results(bench_dataset):
+    network = "bert_tiny"
+    records = bench_dataset.records("t4")
+    splits = split_dataset(records, holdout_models=(network,), seed=BENCH_SEED)
+    trainer, _, train_fs = train_cdmpp(splits.train, splits.valid)
+    target_fs = featurize_records(splits.holdout, max_leaves=BENCH_PREDICTOR.max_leaves)
+
+    def snapshot():
+        source_latent = trainer.latent(train_fs)
+        target_latent = trainer.latent(target_fs)
+        combined = np.vstack([source_latent, target_latent])
+        labels = np.array([0] * len(source_latent) + [1] * len(target_latent))
+        projection = pca_project(combined, dim=2)
+        return {
+            "cmd": cmd_distance(source_latent, target_latent),
+            "overlap": domain_overlap(projection, labels, k=5),
+        }
+
+    before = snapshot()
+    FineTuner(trainer).finetune(train_fs, target_fs, epochs=BENCH_FINETUNE_EPOCHS, alpha=2.0)
+    after = snapshot()
+    return {"before": before, "after": after, "network": network}
+
+
+def test_fig8_cmd_regularisation_aligns_latents(benchmark, fig8_results):
+    result = run_once(benchmark, lambda: fig8_results)
+    rows = [
+        {"stage": "w/o CMD fine-tuning", **result["before"]},
+        {"stage": "w/ CMD fine-tuning", **result["after"]},
+    ]
+    print_table(
+        f"Fig. 8/16: latent alignment for hold-out {result['network']}",
+        rows,
+        ["stage", "cmd", "overlap"],
+    )
+    # The CMD term reduces the latent distribution discrepancy between the
+    # source networks and the target network ...
+    assert result["after"]["cmd"] < result["before"]["cmd"]
+    # ... and the domains become at least as mixed in the projected space.
+    assert result["after"]["overlap"] >= result["before"]["overlap"] * 0.8

@@ -1,0 +1,28 @@
+"""Table 1: capability matrix of prior DNN performance predictors."""
+
+from benchmarks.common import print_table, run_once
+from repro.baselines.registry import BASELINE_CAPABILITIES
+
+
+def test_table1_capability_matrix(benchmark):
+    def experiment():
+        rows = []
+        for name, caps in BASELINE_CAPABILITIES.items():
+            rows.append({"method": name, **{k: ("yes" if v else "no") for k, v in caps.items()}})
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Table 1: predictor capabilities",
+        rows,
+        ["method", "absolute_time", "model_level", "op_level", "cross_device"],
+    )
+    caps = BASELINE_CAPABILITIES
+    # The paper's point: CDMPP is the only method with every capability.
+    assert all(caps["cdmpp"].values())
+    assert sum(all(c.values()) for c in caps.values()) == 1
+    # Spot checks of Table 1 rows.
+    assert not caps["autotvm_xgboost"]["absolute_time"]
+    assert not caps["habitat"]["cross_device"]
+    assert caps["nnlqp"]["cross_device"] and not caps["nnlqp"]["op_level"]
+    assert caps["tlp"]["cross_device"] and not caps["tlp"]["absolute_time"]

@@ -1,0 +1,42 @@
+"""Table 2: the device fleet and per-device dataset sizes."""
+
+from benchmarks.common import print_table, run_once
+from repro.devices.spec import DEVICE_REGISTRY, TABLE2_SAMPLE_COUNTS, list_devices
+
+
+def test_table2_device_registry(benchmark, bench_dataset):
+    def experiment():
+        rows = []
+        for device in DEVICE_REGISTRY.values():
+            rows.append(
+                {
+                    "device": device.name,
+                    "taxonomy": device.taxonomy,
+                    "clock_mhz": device.clock_mhz,
+                    "mem_gb": device.memory_gb,
+                    "bandwidth_gbps": device.memory_bandwidth_gbps,
+                    "cores": device.cores,
+                    "paper_samples": TABLE2_SAMPLE_COUNTS[device.name],
+                    "synthetic_samples": bench_dataset.num_records(device.name)
+                    if device.name in bench_dataset.devices
+                    else 0,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Table 2: devices",
+        rows,
+        ["device", "taxonomy", "clock_mhz", "mem_gb", "bandwidth_gbps", "cores",
+         "paper_samples", "synthetic_samples"],
+    )
+    # All nine Table-2 devices are registered: 5 GPUs, 3 CPUs, 1 accelerator.
+    assert len(DEVICE_REGISTRY) == 9
+    assert len(list_devices("gpu")) == 5
+    assert len(list_devices("cpu")) == 3
+    assert len(list_devices("accel")) == 1
+    # The synthetic dataset measures the same tensor programs on each device.
+    sizes = {d: bench_dataset.num_records(d) for d in bench_dataset.devices}
+    assert len(set(sizes.values())) == 1
+    assert min(sizes.values()) > 200

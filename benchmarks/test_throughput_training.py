@@ -1,0 +1,40 @@
+"""Section 7.2 training-efficiency comparison: samples/second per cost model.
+
+The paper reports ~644k samples/s for XGBoost, ~14k for CDMPP and ~1.9k for
+Tiramisu on a V100.  The NumPy substrate is slower across the board, but the
+ordering and the roughly order-of-magnitude gaps are the reproducible shape.
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_SEED, print_table, run_once
+from benchmarks.conftest import train_cdmpp
+from repro.baselines import TiramisuCostModel, XGBoostCostModel
+
+
+@pytest.fixture(scope="module")
+def throughput_results(device_splits):
+    splits = device_splits["t4"]
+    _, cdmpp_result, _ = train_cdmpp(splits.train, splits.valid, epochs=8)
+
+    xgb = XGBoostCostModel(n_estimators=50, seed=BENCH_SEED)
+    xgb.fit(splits.train)
+    tiramisu = TiramisuCostModel(epochs=1, max_train_samples=150, seed=BENCH_SEED)
+    tiramisu.fit(splits.train)
+
+    return [
+        {"cost_model": "xgboost", "throughput": xgb.throughput_samples_per_s},
+        {"cost_model": "cdmpp", "throughput": cdmpp_result.throughput_samples_per_s},
+        {"cost_model": "tiramisu", "throughput": tiramisu.throughput_samples_per_s},
+    ]
+
+
+def test_training_throughput_comparison(benchmark, throughput_results):
+    rows = run_once(benchmark, lambda: throughput_results)
+    print_table("Training throughput (samples consumed per second, T4 dataset)", rows,
+                ["cost_model", "throughput"])
+    throughput = {row["cost_model"]: row["throughput"] for row in rows}
+    # Ordering: XGBoost > CDMPP > Tiramisu, with CDMPP several times faster
+    # than the structure-batched recursive LSTM.
+    assert throughput["xgboost"] > throughput["cdmpp"]
+    assert throughput["cdmpp"] > 2 * throughput["tiramisu"]

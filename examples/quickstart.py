@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart: train a CDMPP cost model and query tensor-program latencies.
+
+This walks through the full public API in a couple of minutes on a laptop:
+
+1. generate a small Tenset-like dataset on the simulated T4,
+2. pre-train the CDMPP predictor,
+3. query the latency of individual tensor programs,
+4. predict the end-to-end latency of a whole network via the replayer,
+   and compare it with the simulator's ground truth.
+
+Run with:  python examples/quickstart.py [--scale tiny|small]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.api import CDMPP
+from repro.core.scale import get_scale
+from repro.dataset.splits import split_dataset
+from repro.dataset.tenset import DatasetConfig, generate_dataset
+from repro.ops import conv2d, dense
+from repro.replay.e2e import measure_end_to_end
+from repro.tir.lower import lower
+from repro.tir.schedule import Schedule
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", help="experiment scale (tiny/small/medium)")
+    parser.add_argument("--device", default="t4", help="simulated device to train for")
+    args = parser.parse_args()
+    scale = get_scale(args.scale)
+
+    # ------------------------------------------------------------------
+    # 1. Dataset: tasks from the model zoo + synthetic models, several random
+    #    schedules per task, measured on the simulated device.
+    # ------------------------------------------------------------------
+    print(f"[1/4] generating a {scale.name}-scale dataset on {args.device} ...")
+    dataset = generate_dataset(
+        DatasetConfig(devices=(args.device,), seed=0, **scale.dataset_kwargs())
+    )
+    splits = split_dataset(dataset.records(args.device), seed=0)
+    print(f"      {dataset.num_records(args.device)} records, "
+          f"{len(dataset.tasks())} unique tasks, splits={splits.sizes}")
+
+    # ------------------------------------------------------------------
+    # 2. Pre-train the predictor (Box-Cox labels, hybrid MSE+MAPE loss).
+    # ------------------------------------------------------------------
+    print("[2/4] pre-training the CDMPP predictor ...")
+    cdmpp = CDMPP(
+        predictor_config=scale.predictor_config(),
+        training_config=scale.training_config(),
+    )
+    result = cdmpp.pretrain(splits.train, splits.valid)
+    print(f"      {len(result.history)} epochs, "
+          f"{result.throughput_samples_per_s:.0f} samples/s, "
+          f"best valid MAPE {result.best_valid_mape:.3f}")
+
+    # ------------------------------------------------------------------
+    # 3. Query individual tensor programs: a hand-scheduled conv and dense.
+    # ------------------------------------------------------------------
+    print("[3/4] querying tensor-program latencies ...")
+    conv_task = conv2d(1, 64, 64, 28, 28, kernel=3, model="quickstart")
+    conv_schedule = (
+        Schedule().split("oc", [16]).annotate("oc.0", "parallel").annotate("ow", "vectorize")
+    )
+    conv_program = lower(conv_task, conv_schedule)
+    dense_program = lower(dense(8, 512, 512, model="quickstart"))
+    for program in (conv_program, dense_program):
+        latency = cdmpp.predict_program(program, args.device)
+        print(f"      {program.task.op_type:8s}: predicted {latency * 1e6:9.1f} us "
+              f"({program.stats.total_flops / 1e6:.1f} MFLOPs)")
+
+    # ------------------------------------------------------------------
+    # 4. End-to-end latency of a whole network through the replayer.
+    # ------------------------------------------------------------------
+    print("[4/4] predicting end-to-end latency of BERT-tiny ...")
+    prediction = cdmpp.predict_model("bert_tiny", args.device, batch_size=1)
+    truth = measure_end_to_end("bert_tiny", args.device, seed=0)
+    error = abs(prediction.predicted_latency_s - truth.iteration_time_s) / truth.iteration_time_s
+    print(f"      predicted {prediction.predicted_latency_s * 1e3:.3f} ms "
+          f"vs simulated {truth.iteration_time_s * 1e3:.3f} ms "
+          f"({error * 100:.1f}% error, {prediction.num_nodes} operators)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Train once, persist the cost model, and answer many queries later.
+
+Production use of a learned cost model rarely retrains per query: a model is
+trained once per device (or device pool), saved, and then loaded by DL
+compiler passes, placement searchers or capacity planners whenever they need
+a latency estimate.  This example trains a small CDMPP model, saves it to
+disk with :func:`repro.core.persistence.save_trainer`, reloads it in a fresh
+object and answers a batch of queries for several networks.
+
+Run with:  python examples/train_once_query_many.py [--model-path /tmp/cdmpp_t4.npz]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.core.persistence import load_trainer, save_trainer
+from repro.core.scale import get_scale
+from repro.core.trainer import Trainer
+from repro.dataset.splits import split_dataset
+from repro.dataset.tenset import DatasetConfig, generate_dataset
+from repro.features.pipeline import featurize_programs, featurize_records
+from repro.graph.zoo import build_model
+from repro.replay.e2e import measure_end_to_end, predict_end_to_end
+
+QUERIES = ("bert_tiny", "mobilenet_v2", "lstm_lm")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--device", default="t4")
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--model-path", default="/tmp/cdmpp_model.npz")
+    args = parser.parse_args()
+    scale = get_scale(args.scale)
+    model_path = Path(args.model_path)
+
+    if model_path.exists():
+        print(f"[1/3] loading an existing cost model from {model_path} ...")
+        trainer = load_trainer(model_path)
+    else:
+        print(f"[1/3] training a {scale.name}-scale cost model for {args.device} ...")
+        dataset = generate_dataset(
+            DatasetConfig(devices=(args.device,), seed=0, **scale.dataset_kwargs())
+        )
+        splits = split_dataset(dataset.records(args.device), seed=0)
+        trainer = Trainer(predictor_config=scale.predictor_config(),
+                          config=scale.training_config())
+        train_fs = featurize_records(splits.train)
+        trainer.fit(train_fs, featurize_records(splits.valid, max_leaves=train_fs.max_leaves))
+        save_trainer(trainer, model_path)
+        print(f"      saved to {model_path} ({model_path.stat().st_size / 1024:.0f} KiB)")
+
+    print("[2/3] answering end-to-end queries with the loaded model ...")
+
+    def cost_fn(programs):
+        features = featurize_programs(programs, args.device,
+                                      max_leaves=trainer.predictor.config.max_leaves)
+        return dict(zip(features.task_keys, trainer.predict(features)))
+
+    print(f"  {'network':14s} {'predicted':>12s} {'simulated':>12s} {'error':>8s}")
+    for network in QUERIES:
+        graph = build_model(network)
+        predicted = predict_end_to_end(graph, args.device, cost_fn, seed=0).iteration_time_s
+        simulated = measure_end_to_end(graph, args.device, seed=0).iteration_time_s
+        error = abs(predicted - simulated) / simulated
+        print(f"  {network:14s} {predicted * 1e3:9.3f} ms {simulated * 1e3:9.3f} ms {error * 100:7.1f}%")
+
+    print(f"[3/3] done; delete {model_path} to retrain from scratch next time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline evaluation environment has no `wheel` package, so PEP 660
+editable installs fail; `pip install -e . --no-use-pep517 --no-build-isolation`
+(or `python setup.py develop`) uses this shim instead.  All metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""CDMPP reproduction: device-model agnostic latency prediction of tensor programs.
+
+This package reimplements, on a synthetic but behaviour-preserving substrate,
+the full system described in "CDMPP: A Device-Model Agnostic Framework for
+Latency Prediction of Tensor Programs" (EuroSys 2024):
+
+* ``repro.tir`` / ``repro.ops`` -- a miniature tensor-program IR with
+  Ansor-style schedule primitives and Tiramisu-style ASTs.
+* ``repro.devices`` / ``repro.profiler`` / ``repro.dataset`` -- a simulated
+  multi-device measurement substrate that plays the role of Tenset.
+* ``repro.features`` -- Compact ASTs and pre-order positional encoding.
+* ``repro.nn`` -- a NumPy autodiff/NN framework (Transformer, LSTM, MLP).
+* ``repro.core`` -- the CDMPP predictor, hybrid loss, Box-Cox normalization,
+  CMD-regularized fine-tuning, KMeans-based task sampling, auto-tuner.
+* ``repro.baselines`` -- XGBoost, Tiramisu, Habitat and TLP baselines.
+* ``repro.replay`` -- the end-to-end DFG replayer (Algorithm 2).
+* ``repro.search`` -- cost-model-guided schedule search (Fig. 14b).
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

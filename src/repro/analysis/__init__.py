@@ -1,0 +1,18 @@
+"""Analysis helpers: distribution statistics and latent-space projections."""
+
+from repro.analysis.distribution import (
+    ast_node_distribution,
+    latency_distribution,
+    normality_score,
+    skewness,
+)
+from repro.analysis.projection import pca_project, tsne_project
+
+__all__ = [
+    "ast_node_distribution",
+    "latency_distribution",
+    "skewness",
+    "normality_score",
+    "pca_project",
+    "tsne_project",
+]

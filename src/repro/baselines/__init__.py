@@ -1,0 +1,31 @@
+"""Baseline cost models the paper compares against.
+
+* :mod:`repro.baselines.xgboost` -- gradient-boosted regression trees on
+  flattened program features (AutoTVM/Ansor's cost model family).
+* :mod:`repro.baselines.tiramisu` -- a recursive LSTM over the raw
+  (irregular) AST, trained with a MAPE objective, as in Tiramisu.
+* :mod:`repro.baselines.habitat` -- per-operator-type MLPs plus roofline
+  wave-scaling between GPUs (GPU-only, like Habitat).
+* :mod:`repro.baselines.tlp` -- schedule-primitive features with a shared
+  backbone and per-device heads predicting *relative* cost, as in TLP.
+"""
+
+from repro.baselines.base import BaselineCostModel
+from repro.baselines.features import flat_feature_vector, flat_features
+from repro.baselines.xgboost import XGBoostCostModel
+from repro.baselines.tiramisu import TiramisuCostModel
+from repro.baselines.habitat import HabitatCostModel
+from repro.baselines.tlp import TLPCostModel
+from repro.baselines.registry import BASELINE_CAPABILITIES, make_baseline
+
+__all__ = [
+    "BaselineCostModel",
+    "flat_feature_vector",
+    "flat_features",
+    "XGBoostCostModel",
+    "TiramisuCostModel",
+    "HabitatCostModel",
+    "TLPCostModel",
+    "BASELINE_CAPABILITIES",
+    "make_baseline",
+]

@@ -1,0 +1,132 @@
+"""Flattened per-program feature vectors used by the non-AST baselines.
+
+XGBoost, Habitat and TLP do not consume Compact ASTs; they use hand-crafted
+aggregate features: program-level statistics (FLOPs, bytes, loop structure),
+schedule-primitive counts and device specifications.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.devices.spec import get_device
+from repro.profiler.records import MeasureRecord
+from repro.tir.program import TensorProgram
+
+# Stable operator-type vocabulary for one-hot features (unknown types map to
+# the last bucket).
+OP_TYPE_VOCAB = (
+    "conv2d",
+    "depthwise_conv2d",
+    "dense",
+    "batch_matmul",
+    "pool2d",
+    "global_avg_pool2d",
+    "batch_norm",
+    "layer_norm",
+    "softmax",
+    "attention_scores",
+    "attention_context",
+    "lstm_cell",
+    "reduce",
+    "embedding_lookup",
+)
+
+
+def _log1p(value: float) -> float:
+    return float(np.log1p(max(value, 0.0)))
+
+
+def flat_feature_vector(
+    program: TensorProgram,
+    device: str | None = None,
+    include_device: bool = True,
+) -> np.ndarray:
+    """One flat feature vector for a tensor program (plus optional device)."""
+    stats = program.stats
+    schedule = program.schedule
+    primitive_counts = schedule.primitive_counts()
+    annotation_counts = schedule.annotation_counts()
+    mean_factor, max_factor = schedule.split_factor_stats()
+
+    op_onehot = [0.0] * (len(OP_TYPE_VOCAB) + 1)
+    try:
+        op_onehot[OP_TYPE_VOCAB.index(program.task.op_type)] = 1.0
+    except ValueError:
+        op_onehot[-1] = 1.0
+
+    features: List[float] = [
+        _log1p(stats.total_flops),
+        _log1p(stats.total_bytes_read),
+        _log1p(stats.total_bytes_written),
+        _log1p(stats.arithmetic_intensity),
+        float(stats.num_leaves),
+        float(stats.num_ast_nodes),
+        float(stats.max_loop_depth),
+        _log1p(stats.parallel_extent),
+        _log1p(stats.vectorized_extent),
+        _log1p(stats.unrolled_extent),
+        float(stats.num_cache_stages),
+        float(stats.num_intrinsic_calls),
+        _log1p(program.task.spatial_extent),
+        _log1p(program.task.reduce_extent),
+        float(len(program.task.epilogues)),
+        float(primitive_counts["split"]),
+        float(primitive_counts["fuse"]),
+        float(primitive_counts["reorder"]),
+        float(primitive_counts["annotate"]),
+        float(primitive_counts["cache"]),
+        float(annotation_counts["parallel"]),
+        float(annotation_counts["vectorize"]),
+        float(annotation_counts["unroll"]),
+        float(mean_factor),
+        float(max_factor),
+    ]
+    features.extend(op_onehot)
+    if include_device and device is not None:
+        features.extend(get_device(device).feature_vector().tolist())
+    return np.asarray(features, dtype=np.float64)
+
+
+def flat_features(
+    records: Sequence[MeasureRecord],
+    include_device: bool = True,
+) -> np.ndarray:
+    """Stack flat feature vectors for a list of records."""
+    return np.stack(
+        [
+            flat_feature_vector(record.program, record.device, include_device=include_device)
+            for record in records
+        ],
+        axis=0,
+    )
+
+
+def schedule_primitive_features(record: MeasureRecord) -> np.ndarray:
+    """TLP-style features: schedule primitives + workload size, no program AST."""
+    program = record.program
+    schedule = program.schedule
+    primitive_counts = schedule.primitive_counts()
+    annotation_counts = schedule.annotation_counts()
+    mean_factor, max_factor = schedule.split_factor_stats()
+    return np.asarray(
+        [
+            float(len(schedule)),
+            float(primitive_counts["split"]),
+            float(primitive_counts["fuse"]),
+            float(primitive_counts["reorder"]),
+            float(primitive_counts["annotate"]),
+            float(primitive_counts["cache"]),
+            float(annotation_counts["parallel"]),
+            float(annotation_counts["vectorize"]),
+            float(annotation_counts["unroll"]),
+            float(mean_factor),
+            float(max_factor),
+            _log1p(program.task.spatial_extent),
+            _log1p(program.task.reduce_extent),
+            float(len(program.task.epilogues)),
+        ],
+        dtype=np.float64,
+    )

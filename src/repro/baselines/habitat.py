@@ -1,0 +1,130 @@
+"""The Habitat baseline: per-operator MLPs plus roofline wave-scaling.
+
+Habitat predicts an operator's latency on a target GPU by (1) scaling a
+measured latency from a source GPU with a roofline model (ratio of compute
+throughput or memory bandwidth, depending on which side of the ridge point
+the kernel sits), and (2) for the handful of "important" operator types,
+refining with a small per-operator-type MLP over operator-level features.
+It supports GPUs only and does not see the tensor-program structure, so
+distinct schedules of the same operator collapse onto the same features --
+the generalisation weakness the paper points out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineCostModel
+from repro.devices.spec import GPU, DeviceSpec, get_device
+from repro.errors import TrainingError
+from repro.nn.losses import mse_loss
+from repro.nn.mlp import MLP
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.profiler.records import MeasureRecord
+from repro.utils.rng import new_rng
+
+# Operator families Habitat builds dedicated MLPs for (conv2d, lstm, bmm, linear).
+_MLP_OPS = ("conv2d", "lstm_cell", "batch_matmul", "dense")
+
+
+def _op_features(record: MeasureRecord) -> np.ndarray:
+    """Operator-level features: shape parameters, no schedule information."""
+    task = record.program.task
+    params = sorted(task.params.items())
+    values = [np.log1p(float(v)) for _, v in params][:8]
+    values += [0.0] * (8 - len(values))
+    values.append(np.log1p(task.naive_flops()))
+    values.append(np.log1p(task.spatial_extent))
+    values.append(np.log1p(task.reduce_extent))
+    return np.asarray(values, dtype=np.float64)
+
+
+def roofline_scale(latency_s: float, flops: float, bytes_moved: float,
+                   source: DeviceSpec, target: DeviceSpec) -> float:
+    """Scale a latency between devices with the roofline model.
+
+    Compute-bound kernels scale with peak FLOPS, memory-bound kernels with
+    memory bandwidth (Habitat's "wave scaling" simplification).
+    """
+    intensity = flops / max(bytes_moved, 1.0)
+    if intensity >= source.ridge_intensity:
+        ratio = source.peak_gflops / target.peak_gflops
+    else:
+        ratio = source.memory_bandwidth_gbps / target.memory_bandwidth_gbps
+    return latency_s * ratio
+
+
+class HabitatCostModel(BaselineCostModel):
+    """Habitat-style predictor: roofline scaling + per-op MLP refinement."""
+
+    name = "habitat"
+
+    def __init__(self, target_device: str, source_device: Optional[str] = None,
+                 epochs: int = 40, seed: int = 0):
+        super().__init__()
+        self.target = get_device(target_device)
+        if self.target.taxonomy != GPU:
+            raise TrainingError("Habitat only supports GPU target devices")
+        self.source: Optional[DeviceSpec] = get_device(source_device) if source_device else None
+        self.epochs = int(epochs)
+        self._rng = new_rng(("habitat", seed))
+        self._mlps: Dict[str, MLP] = {}
+        self._source_latency: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def _fit(self, records: Sequence[MeasureRecord]) -> None:
+        gpu_records = [r for r in records if get_device(r.device).taxonomy == GPU]
+        if not gpu_records:
+            raise TrainingError("Habitat needs GPU source measurements")
+        if self.source is None:
+            self.source = get_device(gpu_records[0].device)
+
+        # Remember the mean measured latency per workload on the source GPU
+        # (the quantity Habitat scales to the target GPU).
+        sums: Dict[str, List[float]] = {}
+        for record in gpu_records:
+            if record.device == self.source.name:
+                sums.setdefault(record.task_key, []).append(record.latency_s)
+        self._source_latency = {key: float(np.mean(vals)) for key, vals in sums.items()}
+
+        # Per-op-type MLPs trained to predict log-latency on the source GPU.
+        by_op: Dict[str, List[MeasureRecord]] = {}
+        for record in gpu_records:
+            if record.op_type in _MLP_OPS:
+                by_op.setdefault(record.op_type, []).append(record)
+        for op_type, op_records in by_op.items():
+            mlp = MLP(11, [32, 32], 1, activation="relu", rng=self._rng)
+            optimizer = Adam(mlp.parameters(), lr=3e-3)
+            x = Tensor(np.stack([_op_features(r) for r in op_records]))
+            y = Tensor(np.log(np.asarray([[r.latency_s] for r in op_records])))
+            for _ in range(self.epochs):
+                optimizer.zero_grad()
+                loss = mse_loss(mlp(x), y)
+                loss.backward()
+                optimizer.step()
+            self._mlps[op_type] = mlp
+
+    def _predict(self, records: Sequence[MeasureRecord]) -> np.ndarray:
+        assert self.source is not None
+        out = np.empty(len(records), dtype=np.float64)
+        for index, record in enumerate(records):
+            stats = record.program.stats
+            base = self._source_latency.get(record.task_key)
+            if base is None and record.op_type in self._mlps:
+                with no_grad():
+                    base = float(
+                        np.exp(self._mlps[record.op_type](Tensor(_op_features(record).reshape(1, -1))).item())
+                    )
+            if base is None:
+                # Fall back to a pure roofline estimate on the source device.
+                base = max(
+                    stats.total_flops / (self.source.peak_gflops * 1e9 * 0.5),
+                    stats.total_bytes / (self.source.bytes_per_second * 0.5),
+                ) + self.source.launch_overhead_us * 1e-6
+            out[index] = roofline_scale(
+                base, stats.total_flops, stats.total_bytes, self.source, self.target
+            )
+        return out

@@ -1,0 +1,81 @@
+"""Baseline registry and the Table 1 capability matrix."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines.base import BaselineCostModel
+from repro.baselines.habitat import HabitatCostModel
+from repro.baselines.tiramisu import TiramisuCostModel
+from repro.baselines.tlp import TLPCostModel
+from repro.baselines.xgboost import XGBoostCostModel
+from repro.errors import TrainingError
+
+# Table 1 of the paper: which capabilities each predictor family offers.
+# Keys: absolute_time, model_level, op_level, cross_device.
+BASELINE_CAPABILITIES: Dict[str, Dict[str, bool]] = {
+    "autotvm_xgboost": {
+        "absolute_time": False,
+        "model_level": True,
+        "op_level": True,
+        "cross_device": False,
+    },
+    "tiramisu": {
+        "absolute_time": False,
+        "model_level": False,
+        "op_level": True,
+        "cross_device": False,
+    },
+    "kaufman_tpu": {
+        "absolute_time": True,
+        "model_level": True,
+        "op_level": True,
+        "cross_device": False,
+    },
+    "metatune": {
+        "absolute_time": True,
+        "model_level": False,  # CNNs only
+        "op_level": False,  # Conv and MatMul only
+        "cross_device": False,
+    },
+    "habitat": {
+        "absolute_time": True,
+        "model_level": True,
+        "op_level": True,
+        "cross_device": False,  # GPUs only
+    },
+    "nnlqp": {
+        "absolute_time": True,
+        "model_level": True,
+        "op_level": False,
+        "cross_device": True,
+    },
+    "tlp": {
+        "absolute_time": False,
+        "model_level": True,
+        "op_level": True,
+        "cross_device": True,
+    },
+    "cdmpp": {
+        "absolute_time": True,
+        "model_level": True,
+        "op_level": True,
+        "cross_device": True,
+    },
+}
+
+
+def make_baseline(name: str, **kwargs) -> BaselineCostModel:
+    """Instantiate a runnable baseline cost model by name."""
+    name = name.lower()
+    if name == "xgboost":
+        return XGBoostCostModel(**kwargs)
+    if name == "tiramisu":
+        return TiramisuCostModel(**kwargs)
+    if name == "habitat":
+        return HabitatCostModel(**kwargs)
+    if name == "tlp":
+        return TLPCostModel(**kwargs)
+    raise TrainingError(
+        f"unknown baseline {name!r}; runnable baselines: xgboost, tiramisu, habitat, tlp"
+    )

@@ -1,0 +1,52 @@
+"""The XGBoost baseline: gradient-boosted trees on flattened program features.
+
+AutoTVM and Ansor use XGBoost over hand-crafted per-program feature vectors.
+The baseline here regresses the log-latency (the standard trick for
+long-tailed targets in tree ensembles) from the flat features of
+:mod:`repro.baselines.features`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineCostModel
+from repro.baselines.features import flat_features
+from repro.baselines.trees import GradientBoostedTrees
+from repro.profiler.records import MeasureRecord
+
+
+class XGBoostCostModel(BaselineCostModel):
+    """Gradient-boosted-tree latency predictor (the AutoTVM/Ansor family)."""
+
+    name = "xgboost"
+
+    def __init__(
+        self,
+        n_estimators: int = 60,
+        max_depth: int = 6,
+        learning_rate: float = 0.1,
+        include_device: bool = True,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.include_device = bool(include_device)
+        self.model = GradientBoostedTrees(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            learning_rate=learning_rate,
+            seed=seed,
+        )
+
+    def _fit(self, records: Sequence[MeasureRecord]) -> None:
+        x = flat_features(records, include_device=self.include_device)
+        y = np.log(np.asarray([record.latency_s for record in records]))
+        self.model.fit(x, y)
+        # Each boosting round is one pass over the training set.
+        self._samples_processed = len(records) * self.model.n_estimators
+
+    def _predict(self, records: Sequence[MeasureRecord]) -> np.ndarray:
+        x = flat_features(records, include_device=self.include_device)
+        return np.exp(self.model.predict(x))

@@ -1,0 +1,82 @@
+"""Command-line interface: ``cdmpp <network> <batch_size> <device>``.
+
+Mirrors the query interface described in Section 6 of the paper.  Because the
+offline reproduction has no shipped pre-trained checkpoint, the CLI trains a
+small predictor on a synthetic dataset first (the scale is configurable) and
+then answers the end-to-end latency query through the replayer, also printing
+the simulator's ground truth for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.api import CDMPP
+from repro.core.scale import available_scales, get_scale
+from repro.dataset.splits import split_dataset
+from repro.dataset.tenset import DatasetConfig, generate_dataset
+from repro.devices.spec import all_device_names, get_device
+from repro.graph.zoo import build_model, list_models
+from repro.replay.e2e import measure_end_to_end
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="cdmpp",
+        description="Predict the end-to-end latency of a DNN model on a device.",
+    )
+    parser.add_argument("network", help=f"network name, one of: {', '.join(list_models())}")
+    parser.add_argument("batch_size", type=int, help="batch size of the query")
+    parser.add_argument("device", help=f"device name, one of: {', '.join(all_device_names())}")
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=list(available_scales()),
+        help="experiment scale used to train the cost model before answering the query",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``cdmpp`` command."""
+    args = build_parser().parse_args(argv)
+    try:
+        device = get_device(args.device)
+        model = build_model(args.network, batch_size=args.batch_size)
+    except Exception as error:  # argparse-style error reporting
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    scale = get_scale(args.scale)
+    print(f"[cdmpp] training a {scale.name}-scale cost model on device {device.name} ...")
+    dataset = generate_dataset(
+        DatasetConfig(devices=(device.name,), seed=args.seed, **scale.dataset_kwargs())
+    )
+    splits = split_dataset(dataset.records(device.name), seed=args.seed)
+
+    cdmpp = CDMPP(
+        predictor_config=scale.predictor_config(),
+        training_config=scale.training_config(),
+    )
+    cdmpp.pretrain(splits.train, splits.valid, epochs=scale.epochs)
+
+    prediction = cdmpp.predict_model(model, device, batch_size=args.batch_size, seed=args.seed)
+    ground_truth = measure_end_to_end(model, device, seed=args.seed)
+    error = abs(prediction.predicted_latency_s - ground_truth.iteration_time_s) / max(
+        ground_truth.iteration_time_s, 1e-12
+    )
+
+    print(f"[cdmpp] network:             {model.name} (batch={args.batch_size}, {len(model)} ops)")
+    print(f"[cdmpp] device:              {device.name} ({device.taxonomy})")
+    print(f"[cdmpp] predicted latency:   {prediction.predicted_latency_s * 1e3:.3f} ms")
+    print(f"[cdmpp] simulated reference: {ground_truth.iteration_time_s * 1e3:.3f} ms")
+    print(f"[cdmpp] relative error:      {error * 100:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""CDMPP core: the cross-domain cost model and its training machinery.
+
+Sub-modules implement Section 5 of the paper:
+
+* :mod:`repro.core.predictor` -- the Transformer-based predictor with
+  leaf-count-specific embedding layers and the device-feature MLP (Fig. 4).
+* :mod:`repro.core.losses` -- the scale-insensitive hybrid MSE+MAPE objective.
+* :mod:`repro.core.transforms` -- Box-Cox / Yeo-Johnson / Quantile label
+  normalization (Section 5.4).
+* :mod:`repro.core.cmd` -- Central Moment Discrepancy (Section 5.3).
+* :mod:`repro.core.trainer` / :mod:`repro.core.finetune` -- pre-training and
+  CMD-regularized fine-tuning.
+* :mod:`repro.core.sampling` -- the KMeans-based task sampling strategy
+  (Algorithm 1).
+* :mod:`repro.core.autotuner` -- hyper-parameter / architecture search.
+* :mod:`repro.core.api` -- the high-level ``CDMPP`` facade used by the CLI,
+  the replayer and the examples.
+"""
+
+from repro.core.config import PredictorConfig, TrainingConfig
+from repro.core.predictor import CDMPPPredictor
+from repro.core.losses import hybrid_loss
+from repro.core.transforms import (
+    BoxCoxTransform,
+    IdentityTransform,
+    LabelTransform,
+    QuantileTransform,
+    YeoJohnsonTransform,
+    make_transform,
+)
+from repro.core.cmd import cmd_distance, cmd_distance_tensor
+from repro.core.metrics import error_report, mape, rmse, threshold_accuracy
+from repro.core.kmeans import KMeans
+from repro.core.sampling import select_tasks_kmeans, select_tasks_random
+from repro.core.trainer import Trainer, TrainingResult
+from repro.core.finetune import FineTuner, cross_device_adaptation
+from repro.core.autotuner import AutoTuner, SearchSpace
+from repro.core.persistence import load_trainer, save_trainer
+from repro.core.scale import ExperimentScale, get_scale
+from repro.core.api import CDMPP
+
+__all__ = [
+    "PredictorConfig",
+    "TrainingConfig",
+    "CDMPPPredictor",
+    "hybrid_loss",
+    "LabelTransform",
+    "BoxCoxTransform",
+    "YeoJohnsonTransform",
+    "QuantileTransform",
+    "IdentityTransform",
+    "make_transform",
+    "cmd_distance",
+    "cmd_distance_tensor",
+    "mape",
+    "rmse",
+    "threshold_accuracy",
+    "error_report",
+    "KMeans",
+    "select_tasks_kmeans",
+    "select_tasks_random",
+    "Trainer",
+    "TrainingResult",
+    "FineTuner",
+    "cross_device_adaptation",
+    "AutoTuner",
+    "SearchSpace",
+    "save_trainer",
+    "load_trainer",
+    "ExperimentScale",
+    "get_scale",
+    "CDMPP",
+]

@@ -1,0 +1,162 @@
+"""The high-level CDMPP facade.
+
+``CDMPP`` wires the whole system together the way the paper's command-line
+tool does: pre-train on a dataset of measured records, optionally fine-tune
+to a new device, then answer latency queries at the tensor-program level or
+at the whole-model level (through the replayer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import PredictorConfig, TrainingConfig
+from repro.core.finetune import CrossDeviceResult, cross_device_adaptation
+from repro.core.trainer import Trainer, TrainingResult
+from repro.devices.spec import DeviceSpec, get_device
+from repro.errors import TrainingError
+from repro.features.pipeline import FeatureSet, featurize_programs, featurize_records
+from repro.graph.model import ModelGraph
+from repro.profiler.records import MeasureRecord
+from repro.tir.program import TensorProgram
+
+
+@dataclass
+class EndToEndPrediction:
+    """Result of a whole-model latency query."""
+
+    model: str
+    device: str
+    predicted_latency_s: float
+    per_program_latency_s: Dict[str, float]
+    num_nodes: int
+
+
+class CDMPP:
+    """Pre-train, fine-tune and query the CDMPP cost model."""
+
+    def __init__(
+        self,
+        predictor_config: Optional[PredictorConfig] = None,
+        training_config: Optional[TrainingConfig] = None,
+    ):
+        self.predictor_config = predictor_config or PredictorConfig()
+        self.training_config = training_config or TrainingConfig()
+        self.trainer = Trainer(predictor_config=self.predictor_config, config=self.training_config)
+        self._max_leaves: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def pretrain(
+        self,
+        train_records: Sequence[MeasureRecord],
+        valid_records: Sequence[MeasureRecord] = (),
+        epochs: Optional[int] = None,
+    ) -> TrainingResult:
+        """Pre-train the predictor on measured records."""
+        if not train_records:
+            raise TrainingError("pretrain needs at least one training record")
+        train_fs = featurize_records(list(train_records), max_leaves=self.predictor_config.max_leaves)
+        self._max_leaves = train_fs.max_leaves
+        valid_fs = (
+            featurize_records(list(valid_records), max_leaves=self._max_leaves)
+            if valid_records
+            else None
+        )
+        return self.trainer.fit(train_fs, valid_fs, epochs=epochs)
+
+    def pretrain_features(
+        self, train: FeatureSet, valid: Optional[FeatureSet] = None, epochs: Optional[int] = None
+    ) -> TrainingResult:
+        """Pre-train directly from already-featurized data."""
+        self._max_leaves = train.max_leaves
+        return self.trainer.fit(train, valid, epochs=epochs)
+
+    def finetune_to_device(
+        self,
+        source_train: FeatureSet,
+        target_records: Sequence[MeasureRecord],
+        target_test: FeatureSet,
+        num_tasks: int = 10,
+        strategy: str = "kmeans",
+        epochs: int = 5,
+    ) -> CrossDeviceResult:
+        """Adapt a pre-trained model to a new device (Sec. 5.3 + Algorithm 1)."""
+        return cross_device_adaptation(
+            self.trainer,
+            source_train=source_train,
+            target_records=target_records,
+            target_test=target_test,
+            num_tasks=num_tasks,
+            strategy=strategy,
+            epochs=epochs,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def predict_programs(
+        self, programs: Sequence[TensorProgram], device: Union[str, DeviceSpec]
+    ) -> Dict[str, float]:
+        """Predicted latency (seconds) per workload key for a batch of programs."""
+        if not programs:
+            return {}
+        features = featurize_programs(
+            list(programs), device, max_leaves=self.predictor_config.max_leaves
+        )
+        predictions = self.trainer.predict(features)
+        result: Dict[str, float] = {}
+        for key, value in zip(features.task_keys, predictions):
+            result[key] = float(value)
+        return result
+
+    def predict_program(self, program: TensorProgram, device: Union[str, DeviceSpec]) -> float:
+        """Predicted latency (seconds) of a single tensor program."""
+        return self.predict_programs([program], device)[program.task.workload_key]
+
+    def predict_model(
+        self,
+        model: Union[str, ModelGraph],
+        device: Union[str, DeviceSpec],
+        batch_size: int = 1,
+        seed: int | str | None = 0,
+    ) -> EndToEndPrediction:
+        """Predict the end-to-end latency of a DNN model on a device.
+
+        The model is dissected into a TIR data-flow graph, the predictor is
+        queried once per unique tensor program, and the replayer simulates
+        the execution order (Algorithm 2) to produce the iteration time.
+        """
+        from repro.graph.zoo import build_model
+        from repro.replay.e2e import predict_end_to_end
+
+        device_spec = get_device(device) if isinstance(device, str) else device
+        graph = model if isinstance(model, ModelGraph) else build_model(model, batch_size=batch_size)
+        outcome = predict_end_to_end(
+            graph,
+            device_spec,
+            cost_fn=lambda programs: self.predict_programs(programs, device_spec),
+            seed=seed,
+        )
+        return EndToEndPrediction(
+            model=graph.name,
+            device=device_spec.name,
+            predicted_latency_s=outcome.iteration_time_s,
+            per_program_latency_s=dict(outcome.durations),
+            num_nodes=len(graph),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def evaluate(self, features: FeatureSet) -> Dict[str, float]:
+        """Evaluate prediction error on a featurized split."""
+        return self.trainer.evaluate(features)
+
+    def latent(self, features: FeatureSet) -> np.ndarray:
+        """Latent representations of featurized samples."""
+        return self.trainer.latent(features)

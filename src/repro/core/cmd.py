@@ -1,0 +1,92 @@
+"""Central Moment Discrepancy (CMD) -- the domain-distance regulariser (Eq. 6).
+
+CMD measures the distance between two distributions through the difference of
+their means and higher-order central moments.  The paper adds a CMD term
+between the latent representations of the source and target domains to the
+fine-tuning objective (Eq. 7), which provably bounds the cross-domain
+generalisation gap (Eq. 4).
+
+Two implementations are provided: a NumPy one for analysis (Fig. 18) and a
+:class:`~repro.nn.tensor.Tensor` one that participates in back-propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.tensor import Tensor
+
+DEFAULT_NUM_MOMENTS = 5
+
+
+def _span(a: np.ndarray, b: np.ndarray) -> float:
+    """|b - a| in Eq. 6: the span of the joint support, estimated empirically."""
+    joint_min = min(float(a.min()), float(b.min()))
+    joint_max = max(float(a.max()), float(b.max()))
+    return max(joint_max - joint_min, 1.0)
+
+
+def cmd_distance(
+    source: np.ndarray,
+    target: np.ndarray,
+    num_moments: int = DEFAULT_NUM_MOMENTS,
+) -> float:
+    """CMD between two sample matrices ``[N_s, D]`` and ``[N_t, D]`` (NumPy)."""
+    source = np.atleast_2d(np.asarray(source, dtype=np.float64))
+    target = np.atleast_2d(np.asarray(target, dtype=np.float64))
+    if source.shape[1] != target.shape[1]:
+        raise TrainingError(
+            f"CMD requires equal feature dimensions, got {source.shape[1]} vs {target.shape[1]}"
+        )
+    if num_moments < 1:
+        raise TrainingError("num_moments must be >= 1")
+
+    span = _span(source, target)
+    mean_s = source.mean(axis=0)
+    mean_t = target.mean(axis=0)
+    distance = float(np.linalg.norm(mean_s - mean_t)) / span
+
+    centered_s = source - mean_s
+    centered_t = target - mean_t
+    for order in range(2, num_moments + 1):
+        moment_s = (centered_s**order).mean(axis=0)
+        moment_t = (centered_t**order).mean(axis=0)
+        distance += float(np.linalg.norm(moment_s - moment_t)) / (span**order)
+    return distance
+
+
+def cmd_distance_tensor(
+    source: Tensor,
+    target: Tensor,
+    num_moments: int = DEFAULT_NUM_MOMENTS,
+) -> Tensor:
+    """Differentiable CMD between two latent batches (used in Eq. 7).
+
+    The support span |b - a| is treated as a constant (computed from the
+    detached data), matching standard CMD implementations where the latent
+    space is assumed bounded.
+    """
+    if source.shape[-1] != target.shape[-1]:
+        raise TrainingError(
+            f"CMD requires equal feature dimensions, got {source.shape[-1]} vs {target.shape[-1]}"
+        )
+    if num_moments < 1:
+        raise TrainingError("num_moments must be >= 1")
+    span = _span(source.data, target.data)
+    eps = 1e-12
+
+    mean_s = source.mean(axis=0)
+    mean_t = target.mean(axis=0)
+    diff = mean_s - mean_t
+    distance = ((diff * diff).sum() + eps).sqrt() * (1.0 / span)
+
+    centered_s = source - mean_s
+    centered_t = target - mean_t
+    for order in range(2, num_moments + 1):
+        moment_s = (centered_s**float(order)).mean(axis=0)
+        moment_t = (centered_t**float(order)).mean(axis=0)
+        moment_diff = moment_s - moment_t
+        norm = ((moment_diff * moment_diff).sum() + eps).sqrt()
+        distance = distance + norm * (1.0 / (span**order))
+    return distance

@@ -1,0 +1,116 @@
+"""KMeans clustering (Lloyd's algorithm with k-means++ initialisation).
+
+Implemented from scratch because the sampling strategy (Algorithm 1) and the
+experiment harness need deterministic, dependency-free clustering of feature
+or latent vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class KMeansResult:
+    """Clustering output: centers, labels and the final inertia."""
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+
+class KMeans:
+    """KMeans with k-means++ seeding and empty-cluster re-seeding."""
+
+    def __init__(
+        self,
+        num_clusters: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int | str | None = 0,
+    ):
+        if num_clusters <= 0:
+            raise TrainingError("num_clusters must be positive")
+        self.num_clusters = int(num_clusters)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self._rng = new_rng(seed)
+        self.result: Optional[KMeansResult] = None
+
+    # ------------------------------------------------------------------
+    def _init_centers(self, x: np.ndarray) -> np.ndarray:
+        """k-means++ initialisation."""
+        n = x.shape[0]
+        centers = np.empty((self.num_clusters, x.shape[1]), dtype=np.float64)
+        first = int(self._rng.integers(0, n))
+        centers[0] = x[first]
+        closest_sq = np.sum((x - centers[0]) ** 2, axis=1)
+        for k in range(1, self.num_clusters):
+            total = float(closest_sq.sum())
+            if total <= 1e-18:
+                # All points identical to chosen centers; pick uniformly.
+                idx = int(self._rng.integers(0, n))
+            else:
+                probs = closest_sq / total
+                idx = int(self._rng.choice(n, p=probs))
+            centers[k] = x[idx]
+            closest_sq = np.minimum(closest_sq, np.sum((x - centers[k]) ** 2, axis=1))
+        return centers
+
+    @staticmethod
+    def _assign(x: np.ndarray, centers: np.ndarray) -> tuple:
+        distances = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        inertia = float(distances[np.arange(x.shape[0]), labels].sum())
+        return labels, inertia
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray) -> KMeansResult:
+        """Cluster ``x`` of shape ``[N, D]``; clamps k to N when N < k."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise TrainingError(f"KMeans expects a non-empty [N, D] array, got shape {x.shape}")
+        k = min(self.num_clusters, x.shape[0])
+        if k < self.num_clusters:
+            self.num_clusters = k
+
+        centers = self._init_centers(x)
+        labels, inertia = self._assign(x, centers)
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            new_centers = centers.copy()
+            for cluster in range(self.num_clusters):
+                members = x[labels == cluster]
+                if members.shape[0] == 0:
+                    # Re-seed empty clusters at the point farthest from its center.
+                    distances = ((x - centers[labels]) ** 2).sum(axis=1)
+                    new_centers[cluster] = x[int(np.argmax(distances))]
+                else:
+                    new_centers[cluster] = members.mean(axis=0)
+            shift = float(np.max(np.abs(new_centers - centers)))
+            centers = new_centers
+            labels, inertia = self._assign(x, centers)
+            if shift < self.tol:
+                break
+        self.result = KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=iteration)
+        return self.result
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Assign new points to the fitted clusters."""
+        if self.result is None:
+            raise TrainingError("KMeans.predict called before fit")
+        labels, _ = self._assign(np.asarray(x, dtype=np.float64), self.result.centers)
+        return labels
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of points per cluster (after fit)."""
+        if self.result is None:
+            raise TrainingError("KMeans.cluster_sizes called before fit")
+        return np.bincount(self.result.labels, minlength=self.num_clusters)

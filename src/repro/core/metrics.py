@@ -1,0 +1,71 @@
+"""Prediction-quality metrics: MAPE, RMSE, MSPE and threshold accuracy.
+
+These mirror the metrics the paper reports: MAPE (the headline "prediction
+error"), RMSE in milliseconds (Table 5) and the k%-accuracy numbers printed
+by the reference implementation's training log (fraction of samples whose
+relative error is below k%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+_EPS = 1e-12
+
+
+def _validate(pred: np.ndarray, target: np.ndarray) -> tuple:
+    pred = np.asarray(pred, dtype=np.float64).reshape(-1)
+    target = np.asarray(target, dtype=np.float64).reshape(-1)
+    if pred.shape != target.shape:
+        raise TrainingError(f"metric shape mismatch: {pred.shape} vs {target.shape}")
+    if pred.size == 0:
+        raise TrainingError("cannot compute metrics on empty arrays")
+    return pred, target
+
+
+def mape(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute percentage error, as a fraction (0.14 == 14%)."""
+    pred, target = _validate(pred, target)
+    return float(np.mean(np.abs(pred - target) / np.maximum(np.abs(target), _EPS)))
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error (same unit as the inputs)."""
+    pred, target = _validate(pred, target)
+    return float(np.sqrt(np.mean((pred - target) ** 2)))
+
+
+def mspe(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared percentage error."""
+    pred, target = _validate(pred, target)
+    ratio = (pred - target) / np.maximum(np.abs(target), _EPS)
+    return float(np.mean(ratio**2))
+
+
+def threshold_accuracy(pred: np.ndarray, target: np.ndarray, threshold: float) -> float:
+    """Fraction of samples whose relative error is below ``threshold``."""
+    pred, target = _validate(pred, target)
+    relative = np.abs(pred - target) / np.maximum(np.abs(target), _EPS)
+    return float(np.mean(relative < threshold))
+
+
+def error_report(
+    pred: np.ndarray,
+    target: np.ndarray,
+    thresholds: Sequence[float] = (0.05, 0.10, 0.20),
+) -> Dict[str, float]:
+    """The full metric dictionary logged during training/evaluation."""
+    report = {
+        "mape": mape(pred, target),
+        "rmse": rmse(pred, target),
+        "mspe": mspe(pred, target),
+    }
+    for threshold in thresholds:
+        report[f"{int(round(threshold * 100))}%accuracy"] = threshold_accuracy(
+            pred, target, threshold
+        )
+    return report

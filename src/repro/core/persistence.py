@@ -1,0 +1,108 @@
+"""Saving and loading trained predictors.
+
+A trained CDMPP cost model consists of the predictor weights, the fitted
+label transform (Box-Cox λ and standardisation constants), the feature
+normalisation statistics and the architecture/training configurations.  All
+of it is stored in a single compressed ``.npz`` archive so a model trained
+once can answer queries in later processes without retraining (the role of
+the released checkpoints in the original artifact).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.config import PredictorConfig, TrainingConfig
+from repro.core.trainer import Trainer
+from repro.core.transforms import QuantileTransform, make_transform
+from repro.errors import TrainingError
+
+PathLike = Union[str, Path]
+
+_PARAM_PREFIX = "param::"
+_META_KEY = "meta_json"
+
+
+def _config_to_dict(config) -> Dict:
+    return dataclasses.asdict(config)
+
+
+def save_trainer(trainer: Trainer, path: PathLike) -> Path:
+    """Serialize a fitted :class:`Trainer` to ``path`` (.npz)."""
+    if not getattr(trainer, "_fitted", False):
+        raise TrainingError("cannot save a trainer that has not been fitted")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays: Dict[str, np.ndarray] = {}
+    for name, param in trainer.predictor.named_parameters():
+        arrays[_PARAM_PREFIX + name] = param.data
+
+    arrays["normalizer_x_mean"] = trainer._x_mean
+    arrays["normalizer_x_std"] = trainer._x_std
+    arrays["normalizer_dev_mean"] = trainer._dev_mean
+    arrays["normalizer_dev_std"] = trainer._dev_std
+
+    transform = trainer.transform
+    meta = {
+        "predictor_config": _config_to_dict(trainer.predictor.config),
+        "training_config": _config_to_dict(trainer.config),
+        "transform": {
+            "name": transform.name,
+            "mean": transform._mean,
+            "std": transform._std,
+            "lambda": getattr(transform, "lambda_", None),
+        },
+    }
+    if isinstance(transform, QuantileTransform):
+        arrays["transform_quantiles"] = transform._quantiles
+        arrays["transform_references"] = transform._references
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_trainer(path: PathLike) -> Trainer:
+    """Load a :class:`Trainer` previously stored with :func:`save_trainer`."""
+    path = Path(path)
+    if not path.exists():
+        raise TrainingError(f"no saved model at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        predictor_config = PredictorConfig(
+            **{k: tuple(v) if isinstance(v, list) else v for k, v in meta["predictor_config"].items()}
+        )
+        training_config = TrainingConfig(**meta["training_config"])
+
+        trainer = Trainer(predictor_config=predictor_config, config=training_config)
+        state = {
+            name[len(_PARAM_PREFIX):]: archive[name]
+            for name in archive.files
+            if name.startswith(_PARAM_PREFIX)
+        }
+        trainer.predictor.load_state_dict(state)
+
+        trainer._x_mean = archive["normalizer_x_mean"]
+        trainer._x_std = archive["normalizer_x_std"]
+        trainer._dev_mean = archive["normalizer_dev_mean"]
+        trainer._dev_std = archive["normalizer_dev_std"]
+
+        transform_meta = meta["transform"]
+        transform = make_transform(transform_meta["name"])
+        transform._mean = float(transform_meta["mean"])
+        transform._std = float(transform_meta["std"])
+        if transform_meta.get("lambda") is not None:
+            transform.lambda_ = float(transform_meta["lambda"])
+        if isinstance(transform, QuantileTransform):
+            transform._quantiles = archive["transform_quantiles"]
+            transform._references = archive["transform_references"]
+        transform._fitted = True
+        trainer.transform = transform
+        trainer._fitted = True
+    return trainer

@@ -1,0 +1,133 @@
+"""Experiment scales: how big the synthetic experiments are.
+
+The paper trains on tens of millions of records for hours on a V100.  The
+NumPy substrate cannot do that, so every experiment driver takes an
+:class:`ExperimentScale` that sets the dataset size, model capacity and
+training length.  ``tiny`` is used by the unit tests, ``small`` by the
+benchmark suite, ``medium``/``paper`` for longer offline runs.  The code path
+is identical at every scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.core.config import PredictorConfig, TrainingConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All scale knobs for one experiment run."""
+
+    name: str
+    zoo_models: Tuple[str, ...]
+    num_synthetic_models: int
+    schedules_per_task: int
+    epochs: int
+    finetune_epochs: int
+    d_model: int
+    num_encoder_layers: int
+    batch_size: int
+    autotune_trials: int
+
+    def predictor_config(self, **overrides) -> PredictorConfig:
+        """Predictor architecture at this scale."""
+        base = PredictorConfig(
+            d_model=self.d_model,
+            num_heads=4,
+            num_encoder_layers=self.num_encoder_layers,
+            embedding_dim=self.d_model,
+            decoder_hidden=(self.d_model, self.d_model),
+        )
+        return replace(base, **overrides) if overrides else base
+
+    def training_config(self, **overrides) -> TrainingConfig:
+        """Training hyper-parameters at this scale."""
+        base = TrainingConfig(epochs=self.epochs, batch_size=self.batch_size)
+        return replace(base, **overrides) if overrides else base
+
+    def dataset_kwargs(self) -> Dict[str, object]:
+        """Keyword arguments for :class:`repro.dataset.DatasetConfig`."""
+        return {
+            "zoo_models": self.zoo_models,
+            "num_synthetic_models": self.num_synthetic_models,
+            "schedules_per_task": self.schedules_per_task,
+        }
+
+
+_SCALES: Dict[str, ExperimentScale] = {
+    "tiny": ExperimentScale(
+        name="tiny",
+        zoo_models=("bert_tiny", "mobilenet_v2"),
+        num_synthetic_models=2,
+        schedules_per_task=4,
+        epochs=6,
+        finetune_epochs=2,
+        d_model=32,
+        num_encoder_layers=1,
+        batch_size=64,
+        autotune_trials=3,
+    ),
+    "small": ExperimentScale(
+        name="small",
+        zoo_models=("bert_tiny", "mobilenet_v2", "vgg16"),
+        num_synthetic_models=8,
+        schedules_per_task=8,
+        epochs=20,
+        finetune_epochs=4,
+        d_model=64,
+        num_encoder_layers=2,
+        batch_size=128,
+        autotune_trials=6,
+    ),
+    "medium": ExperimentScale(
+        name="medium",
+        zoo_models=("bert_tiny", "mobilenet_v2", "vgg16", "resnet50", "inception_v3"),
+        num_synthetic_models=16,
+        schedules_per_task=12,
+        epochs=40,
+        finetune_epochs=8,
+        d_model=96,
+        num_encoder_layers=3,
+        batch_size=256,
+        autotune_trials=12,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        zoo_models=(
+            "bert_tiny",
+            "bert_base",
+            "mobilenet_v2",
+            "vgg16",
+            "resnet50",
+            "inception_v3",
+            "gpt2_small",
+            "lstm_lm",
+        ),
+        num_synthetic_models=112,  # zoo (8) + synthetic (112) = 120 models, as in Tenset
+        schedules_per_task=32,
+        epochs=120,
+        finetune_epochs=20,
+        d_model=256,
+        num_encoder_layers=11,  # the auto-tuned depth reported in Appendix B
+        batch_size=600,  # the auto-tuned batch size reported in Appendix B
+        autotune_trials=1000,
+    ),
+}
+
+
+def get_scale(name: str = "small") -> ExperimentScale:
+    """Look up an experiment scale by name."""
+    try:
+        return _SCALES[name]
+    except KeyError as exc:
+        raise ConfigError(
+            f"unknown experiment scale {name!r}; available: {', '.join(sorted(_SCALES))}"
+        ) from exc
+
+
+def available_scales() -> Tuple[str, ...]:
+    """Names of all defined scales."""
+    return tuple(sorted(_SCALES))

@@ -1,0 +1,21 @@
+"""Tenset-like dataset substrate: generation, splitting and grouping.
+
+The real Tenset contains ~50M measured records of tensor programs on a fleet
+of devices.  This package generates a structurally equivalent (but much
+smaller) dataset on the simulated devices: tasks extracted from the model zoo
+plus synthetic pseudo-models, several random schedules per task, and one
+simulated measurement per (program, device) pair.
+"""
+
+from repro.dataset.tenset import DatasetConfig, TensetDataset, generate_dataset
+from repro.dataset.splits import DatasetSplits, split_dataset
+from repro.dataset.synthetic import synthetic_model_tasks
+
+__all__ = [
+    "DatasetConfig",
+    "TensetDataset",
+    "generate_dataset",
+    "DatasetSplits",
+    "split_dataset",
+    "synthetic_model_tasks",
+]

@@ -1,0 +1,156 @@
+"""Synthetic pseudo-models: extra task diversity beyond the model zoo.
+
+Tenset draws tasks from 120 networks.  The zoo implements the headline
+architectures; this module generates additional pseudo-models (random CNN,
+MLP, transformer and RNN variants with randomised shapes) so the synthetic
+dataset exhibits a comparably broad distribution of operator shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ops import (
+    attention_context,
+    attention_scores,
+    batch_norm_inference,
+    conv2d,
+    dense,
+    depthwise_conv2d,
+    elementwise_binary,
+    elementwise_unary,
+    embedding_lookup,
+    global_avg_pool2d,
+    layer_norm,
+    lstm_cell,
+    pool2d,
+    softmax,
+)
+from repro.tir.task import Task
+from repro.utils.rng import new_rng, spawn_rng
+
+_FAMILIES = ("cnn", "mlp", "transformer", "rnn")
+
+
+def _pow2(rng: np.random.Generator, low: int, high: int) -> int:
+    """Sample a power of two in [low, high]."""
+    exponents = [e for e in range(1, 14) if low <= 2**e <= high]
+    return int(2 ** rng.choice(exponents))
+
+
+def _cnn_tasks(name: str, rng: np.random.Generator) -> List[Task]:
+    tasks: List[Task] = []
+    batch = int(rng.choice([1, 2, 4, 8]))
+    resolution = int(rng.choice([28, 32, 56, 64]))
+    channels = _pow2(rng, 16, 128)
+    depth = int(rng.integers(4, 9))
+    for layer in range(depth):
+        kernel = int(rng.choice([1, 3, 5]))
+        stride = int(rng.choice([1, 1, 2]))
+        out_channels = min(_pow2(rng, 16, 256), 4 * channels)
+        if rng.random() < 0.25:
+            tasks.append(
+                depthwise_conv2d(batch, channels, resolution, resolution, kernel=3,
+                                 stride=stride, padding=1, model=name)
+            )
+        else:
+            tasks.append(
+                conv2d(batch, channels, out_channels, resolution, resolution, kernel=kernel,
+                       stride=stride, padding=kernel // 2,
+                       activation="relu" if rng.random() < 0.7 else None, model=name)
+            )
+            channels = out_channels
+        if stride == 2:
+            resolution = max(resolution // 2, 4)
+        if rng.random() < 0.3:
+            tasks.append(batch_norm_inference(batch, channels, resolution, resolution, model=name))
+        if rng.random() < 0.2:
+            tasks.append(pool2d(batch, channels, resolution, resolution, model=name))
+            resolution = max(resolution // 2, 4)
+        if rng.random() < 0.2:
+            tasks.append(
+                elementwise_binary((batch, channels, resolution, resolution), "add", model=name)
+            )
+    tasks.append(global_avg_pool2d(batch, channels, resolution, resolution, model=name))
+    tasks.append(dense(batch, channels, int(rng.choice([10, 100, 1000])), model=name))
+    return tasks
+
+
+def _mlp_tasks(name: str, rng: np.random.Generator) -> List[Task]:
+    tasks: List[Task] = []
+    batch = int(rng.choice([1, 8, 32, 64, 128]))
+    width = _pow2(rng, 128, 4096)
+    depth = int(rng.integers(3, 7))
+    in_features = _pow2(rng, 64, 2048)
+    for layer in range(depth):
+        activation = str(rng.choice(["relu", "gelu", "tanh"])) if layer < depth - 1 else None
+        tasks.append(dense(batch, in_features, width, activation=activation, model=name))
+        in_features = width
+        if rng.random() < 0.3:
+            tasks.append(elementwise_unary((batch, width), "sigmoid", model=name))
+    return tasks
+
+
+def _transformer_tasks(name: str, rng: np.random.Generator) -> List[Task]:
+    tasks: List[Task] = []
+    batch = int(rng.choice([1, 2, 4]))
+    seq = int(rng.choice([64, 128, 256, 512]))
+    hidden = _pow2(rng, 128, 1024)
+    heads = int(rng.choice([2, 4, 8, 12]))
+    head_dim = max(hidden // heads, 16)
+    tokens = batch * seq
+    tasks.append(embedding_lookup(tokens, int(rng.choice([10_000, 30_000, 50_000])), hidden, model=name))
+    tasks.append(layer_norm(tokens, hidden, model=name))
+    tasks.append(dense(tokens, hidden, 3 * hidden, model=name))
+    tasks.append(attention_scores(batch * heads, seq, head_dim, model=name))
+    tasks.append(softmax(batch * heads * seq, seq, model=name))
+    tasks.append(attention_context(batch * heads, seq, head_dim, model=name))
+    tasks.append(dense(tokens, hidden, hidden, model=name))
+    ffn = int(rng.choice([2, 4])) * hidden
+    tasks.append(dense(tokens, hidden, ffn, activation="gelu", model=name))
+    tasks.append(dense(tokens, ffn, hidden, model=name))
+    tasks.append(elementwise_binary((tokens, hidden), "add", model=name))
+    return tasks
+
+
+def _rnn_tasks(name: str, rng: np.random.Generator) -> List[Task]:
+    tasks: List[Task] = []
+    batch = int(rng.choice([1, 4, 16, 32]))
+    hidden = _pow2(rng, 64, 512)
+    vocab = int(rng.choice([5_000, 10_000, 30_000]))
+    tasks.append(embedding_lookup(batch * 8, vocab, hidden, model=name))
+    for _ in range(int(rng.integers(1, 4))):
+        tasks.append(lstm_cell(batch, hidden, hidden, model=name))
+    tasks.append(dense(batch, hidden, vocab, model=name))
+    return tasks
+
+
+_FAMILY_BUILDERS = {
+    "cnn": _cnn_tasks,
+    "mlp": _mlp_tasks,
+    "transformer": _transformer_tasks,
+    "rnn": _rnn_tasks,
+}
+
+
+def synthetic_model_tasks(
+    num_models: int,
+    seed: int | str | None = 0,
+    families: Optional[List[str]] = None,
+) -> Dict[str, List[Task]]:
+    """Generate ``num_models`` pseudo-models and return their tasks by model name.
+
+    Model names encode the family (``"synthetic_cnn_3"``), so cross-model
+    experiments can hold out whole families if desired.
+    """
+    rng = new_rng(seed)
+    families = families or list(_FAMILIES)
+    result: Dict[str, List[Task]] = {}
+    for index in range(num_models):
+        family = families[index % len(families)]
+        name = f"synthetic_{family}_{index}"
+        model_rng = spawn_rng(rng, "synthetic-model", name)
+        result[name] = _FAMILY_BUILDERS[family](name, model_rng)
+    return result

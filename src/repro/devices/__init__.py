@@ -1,0 +1,27 @@
+"""Device substrate: device specifications (Table 2) and the latency oracle.
+
+The paper profiles tensor programs on real accelerators; offline we replace
+the hardware with :class:`repro.devices.simulator.DeviceSimulator`, an
+analytical latency model whose per-device coefficients come from the specs in
+Table 2 of the paper.  The simulator is the *ground truth generator* -- every
+"measurement" in the synthetic Tenset dataset comes from it.
+"""
+
+from repro.devices.spec import (
+    DEVICE_REGISTRY,
+    DeviceSpec,
+    all_device_names,
+    get_device,
+    list_devices,
+)
+from repro.devices.simulator import DeviceSimulator, simulate_latency
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICE_REGISTRY",
+    "get_device",
+    "list_devices",
+    "all_device_names",
+    "DeviceSimulator",
+    "simulate_latency",
+]

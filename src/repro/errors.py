@@ -1,0 +1,49 @@
+"""Exception hierarchy used across the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can catch
+library failures without swallowing unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class TIRError(ReproError):
+    """Malformed tensor-program IR (bad extents, unbound variables, ...)."""
+
+
+class ScheduleError(ReproError):
+    """A schedule primitive could not be applied to a task."""
+
+
+class FeatureError(ReproError):
+    """Feature extraction failed or produced an inconsistent shape."""
+
+
+class DeviceError(ReproError):
+    """Unknown device or invalid device specification."""
+
+
+class DatasetError(ReproError):
+    """Dataset generation, splitting or loading failed."""
+
+
+class ModelError(ReproError):
+    """Neural-network model construction or execution failed."""
+
+
+class TrainingError(ReproError):
+    """Training/fine-tuning could not proceed (bad config, divergence, ...)."""
+
+
+class ReplayError(ReproError):
+    """End-to-end replay failed (cyclic DFG, missing predictions, ...)."""
+
+
+class SearchError(ReproError):
+    """Schedule search failed."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or model configuration."""

@@ -1,0 +1,33 @@
+"""Feature extraction: Compact ASTs, positional encoding, device features.
+
+This implements Section 4 of the paper:
+
+* :mod:`repro.features.compact_ast` -- one fixed-length *computation vector*
+  per AST leaf plus the *ordering vector* from the pre-order traversal.
+* :mod:`repro.features.positional` -- the pre-order-based positional
+  encoding added to the computation vectors.
+* :mod:`repro.features.device_features` -- device-dependent features
+  (clock, bandwidth, cores, peak FLOPS, cache sizes, ...).
+* :mod:`repro.features.pipeline` -- batch featurization of measurement
+  records into padded arrays ready for the predictor.
+"""
+
+from repro.features.compact_ast import (
+    COMPUTATION_VECTOR_LENGTH,
+    CompactAST,
+    extract_compact_ast,
+)
+from repro.features.positional import positional_encoding
+from repro.features.device_features import device_feature_vector
+from repro.features.pipeline import FeatureSet, featurize_programs, featurize_records
+
+__all__ = [
+    "COMPUTATION_VECTOR_LENGTH",
+    "CompactAST",
+    "extract_compact_ast",
+    "positional_encoding",
+    "device_feature_vector",
+    "FeatureSet",
+    "featurize_records",
+    "featurize_programs",
+]

@@ -1,0 +1,177 @@
+"""Compact AST extraction (Section 4.1 of the paper).
+
+A Compact AST keeps only the AST leaves (computation statements).  Each leaf
+is summarised by a fixed-length *computation vector* describing its
+computation, memory accesses and the loop nest wrapping it; the *ordering
+vector* records the leaf's position in the pre-order traversal of the full
+AST, so no structural information is lost even though non-leaf (loop) nodes
+are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.tir.ast import build_ast, preorder_serialize
+from repro.tir.expr import BufferLoad, Call
+from repro.tir.program import LeafRecord, TensorProgram
+from repro.tir.stmt import LoopKind
+
+# Length of one computation vector.  Changing this changes the predictor's
+# input width, so it is exported as a constant.
+COMPUTATION_VECTOR_LENGTH = 36
+
+
+@dataclass(frozen=True)
+class CompactAST:
+    """The Compact AST of one tensor program.
+
+    Attributes:
+        computation_vectors: ``[num_leaves, COMPUTATION_VECTOR_LENGTH]`` array.
+        ordering_vector: Pre-order position of each leaf in the original AST.
+        num_ast_nodes: Node count of the original AST (kept for statistics).
+    """
+
+    computation_vectors: np.ndarray
+    ordering_vector: np.ndarray
+    num_ast_nodes: int
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves (sequence length of the Compact AST)."""
+        return int(self.computation_vectors.shape[0])
+
+    def __post_init__(self) -> None:
+        if self.computation_vectors.ndim != 2:
+            raise FeatureError("computation_vectors must be a 2-D array")
+        if self.computation_vectors.shape[1] != COMPUTATION_VECTOR_LENGTH:
+            raise FeatureError(
+                f"computation vectors must have length {COMPUTATION_VECTOR_LENGTH}, "
+                f"got {self.computation_vectors.shape[1]}"
+            )
+        if self.ordering_vector.shape[0] != self.computation_vectors.shape[0]:
+            raise FeatureError("ordering vector length must equal the number of leaves")
+
+
+def _log1p(value: float) -> float:
+    return float(np.log1p(max(value, 0.0)))
+
+
+def _leaf_vector(leaf: LeafRecord, pattern_by_buffer: Dict[str, str]) -> np.ndarray:
+    """Build the computation vector of one leaf (Section 4.1, category 1+2)."""
+    stmt = leaf.stmt
+
+    # Loop-nest structure around the leaf.
+    serial_extent = 1
+    counts = {kind: 0 for kind in LoopKind}
+    extents = []
+    for loop in leaf.loops:
+        counts[loop.kind] += 1
+        extents.append(loop.extent)
+        if loop.kind is LoopKind.SERIAL:
+            serial_extent *= loop.extent
+    innermost = extents[-1] if extents else 1
+    outermost = extents[0] if extents else 1
+
+    # Memory behaviour of the statement.
+    loads = stmt.value.loads()
+    loads_global = sum(1 for load in loads if load.buffer.scope == "global")
+    loads_fast = len(loads) - loads_global
+    intrinsics = [node for node in stmt.value.walk() if isinstance(node, Call)]
+    intrinsic_flops = sum(
+        node.flops() - sum(arg.flops() for arg in node.args) for node in intrinsics
+    )
+    output_elems = stmt.buffer.num_elements
+    read_footprint = sum(load.buffer.num_elements for load in loads)
+
+    # Memory access patterns of this statement's reads (contiguous accesses
+    # coalesce; strided/gather accesses waste bandwidth on most devices).
+    pattern_counts = {"contiguous": 0, "strided": 0, "gather": 0}
+    for load in loads:
+        pattern = pattern_by_buffer.get(load.buffer.name, "contiguous")
+        pattern_counts[pattern] += 1
+
+    vector = [
+        # Computation features.
+        _log1p(stmt.flops),
+        _log1p(leaf.trip_count),
+        _log1p(leaf.total_flops),
+        _log1p(intrinsic_flops),
+        float(len(intrinsics)),
+        float(stmt.is_reduction),
+        float(stmt.is_init),
+        float(stmt.label.startswith("cache_read")),
+        # Memory-access features.
+        float(len(loads)),
+        float(loads_global),
+        float(loads_fast),
+        _log1p(stmt.bytes_read),
+        _log1p(stmt.bytes_written),
+        _log1p(leaf.total_bytes_read),
+        _log1p(leaf.total_bytes_written),
+        _log1p(output_elems),
+        _log1p(read_footprint),
+        _log1p(stmt.buffer.dtype_bytes),
+        # Loop features: number of loops, lengths and properties.
+        float(leaf.loop_depth),
+        float(counts[LoopKind.SERIAL]),
+        float(counts[LoopKind.PARALLEL]),
+        float(counts[LoopKind.VECTORIZED]),
+        float(counts[LoopKind.UNROLLED]),
+        _log1p(serial_extent),
+        _log1p(leaf.extent_of(LoopKind.PARALLEL)),
+        _log1p(leaf.extent_of(LoopKind.VECTORIZED)),
+        _log1p(leaf.extent_of(LoopKind.UNROLLED)),
+        _log1p(innermost),
+        _log1p(outermost),
+        _log1p(float(np.prod(extents)) if extents else 1.0),
+        float(len(stmt.indices)),
+        _log1p(stmt.flops * innermost),
+        # Access-pattern features.
+        float(pattern_counts["contiguous"]),
+        float(pattern_counts["strided"]),
+        float(pattern_counts["gather"]),
+        float(stmt.buffer.scope != "global"),
+    ]
+    if len(vector) != COMPUTATION_VECTOR_LENGTH:
+        raise FeatureError(
+            f"internal error: computation vector has {len(vector)} entries, "
+            f"expected {COMPUTATION_VECTOR_LENGTH}"
+        )
+    return np.asarray(vector, dtype=np.float64)
+
+
+def extract_compact_ast(program: TensorProgram) -> CompactAST:
+    """Extract the Compact AST of a tensor program.
+
+    The ordering vector comes from the pre-order serialization of the full
+    Tiramisu-style AST (Fig. 1(d)): entry ``i`` is the pre-order index of the
+    ``i``-th leaf.
+    """
+    leaves = program.leaf_records
+    if not leaves:
+        raise FeatureError("program has no compute statements")
+    task = program.task
+    pattern_by_buffer = {
+        read.buffer.name: read.pattern
+        for stmt in (task.body, *task.epilogues)
+        for read in stmt.reads
+    }
+    vectors = np.stack([_leaf_vector(leaf, pattern_by_buffer) for leaf in leaves], axis=0)
+
+    ast_root = build_ast(program)
+    _, leaf_positions = preorder_serialize(ast_root)
+    if len(leaf_positions) != len(leaves):
+        raise FeatureError(
+            f"AST leaf count {len(leaf_positions)} does not match program leaf count {len(leaves)}"
+        )
+    ordering = np.asarray(leaf_positions, dtype=np.float64)
+    return CompactAST(
+        computation_vectors=vectors,
+        ordering_vector=ordering,
+        num_ast_nodes=ast_root.num_nodes(),
+    )

@@ -1,0 +1,23 @@
+"""Device-dependent features (Section 4.3 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.devices.spec import DeviceSpec, get_device
+
+DEVICE_FEATURE_DIM = DeviceSpec.feature_dim()
+
+
+def device_feature_vector(device: Union[str, DeviceSpec]) -> np.ndarray:
+    """The device-dependent feature vector of one device.
+
+    Features cover the hardware specification categories the paper lists:
+    clock frequency, memory size/bandwidth, core count, peak FLOPS, cache
+    sizes, SIMD width plus taxonomy indicators and derived quantities such as
+    the roofline ridge point.
+    """
+    spec = get_device(device) if isinstance(device, str) else device
+    return spec.feature_vector()

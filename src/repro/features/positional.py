@@ -1,0 +1,58 @@
+"""Pre-order-based positional encoding (Section 4.2 of the paper).
+
+The encoding of the ξ-th leaf uses its pre-order index ``V[ξ]`` (from the
+ordering vector) rather than its index in the leaf sequence, so the position
+of the computation inside the original AST -- including how deep under which
+loops it sits relative to its siblings -- is what gets encoded:
+
+    position(ξ, 2δ)     = sin(V[ξ] / Θ^(2δ / N_entry))
+    position(ξ, 2δ + 1) = cos(V[ξ] / Θ^(2δ / N_entry))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FeatureError
+
+DEFAULT_THETA = 10_000.0
+
+
+def positional_encoding(
+    ordering_vector: np.ndarray,
+    dim: int,
+    theta: float = DEFAULT_THETA,
+) -> np.ndarray:
+    """Compute the positional encoding matrix ``[num_leaves, dim]``.
+
+    Args:
+        ordering_vector: Pre-order index of each leaf (the ordering vector of
+            the Compact AST).
+        dim: Output dimension, normally ``COMPUTATION_VECTOR_LENGTH`` so the
+            encoding can be added to the computation vectors.
+        theta: The frequency base Θ (10000 in the paper, following the
+            Transformer convention).
+    """
+    if dim <= 0:
+        raise FeatureError("positional encoding dimension must be positive")
+    positions = np.asarray(ordering_vector, dtype=np.float64).reshape(-1, 1)  # [L, 1]
+    half = (dim + 1) // 2
+    deltas = np.arange(half, dtype=np.float64)  # δ = 0 .. ceil(dim/2)-1
+    frequencies = positions / (theta ** (2.0 * deltas / dim))  # [L, half]
+
+    encoding = np.zeros((positions.shape[0], dim), dtype=np.float64)
+    encoding[:, 0::2] = np.sin(frequencies[:, : encoding[:, 0::2].shape[1]])
+    encoding[:, 1::2] = np.cos(frequencies[:, : encoding[:, 1::2].shape[1]])
+    return encoding
+
+
+def add_positional_encoding(
+    computation_vectors: np.ndarray,
+    ordering_vector: np.ndarray,
+    theta: float = DEFAULT_THETA,
+) -> np.ndarray:
+    """Add the positional encoding to the computation vectors (Fig. 1(d))."""
+    if computation_vectors.ndim != 2:
+        raise FeatureError("computation_vectors must be 2-D")
+    encoding = positional_encoding(ordering_vector, computation_vectors.shape[1], theta=theta)
+    return computation_vectors + encoding

@@ -1,0 +1,19 @@
+"""DNN model graphs, the model zoo, task partitioning and TIR data-flow graphs."""
+
+from repro.graph.model import ModelGraph, OpNode
+from repro.graph.zoo import MODEL_BUILDERS, build_model, list_models
+from repro.graph.partition import extract_tasks, extract_unique_tasks
+from repro.graph.dfg import DFGNode, TIRDataFlowGraph, build_dfg
+
+__all__ = [
+    "OpNode",
+    "ModelGraph",
+    "MODEL_BUILDERS",
+    "build_model",
+    "list_models",
+    "extract_tasks",
+    "extract_unique_tasks",
+    "DFGNode",
+    "TIRDataFlowGraph",
+    "build_dfg",
+]

@@ -1,0 +1,63 @@
+"""Partitioning DNN models into auto-scheduler tasks.
+
+TVM's auto-scheduler assigns one tuning task per (deduplicated) fused
+subgraph.  Here a task is attached to every operator node already, so
+partitioning amounts to collecting and deduplicating them -- but the helpers
+below also support gathering tasks across many models, which is how the
+Tenset-like dataset is assembled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.graph.model import ModelGraph
+from repro.graph.zoo import build_model
+from repro.tir.task import Task
+
+ModelLike = Union[str, ModelGraph]
+
+
+def _as_graph(model: ModelLike, batch_size: int = 1) -> ModelGraph:
+    if isinstance(model, ModelGraph):
+        return model
+    return build_model(model, batch_size=batch_size)
+
+
+def extract_tasks(model: ModelLike, batch_size: int = 1) -> List[Task]:
+    """All tasks of a model (one per node, duplicates included)."""
+    return _as_graph(model, batch_size).tasks()
+
+
+def extract_unique_tasks(model: ModelLike, batch_size: int = 1) -> Dict[str, Task]:
+    """Deduplicated tasks of a model keyed by workload key."""
+    return _as_graph(model, batch_size).unique_tasks()
+
+
+def extract_tasks_from_models(
+    models: Sequence[ModelLike],
+    batch_size: int = 1,
+) -> Dict[str, Task]:
+    """Union of the unique tasks of several models.
+
+    When two models share a workload (e.g. the same dense layer shape), the
+    task of the first model wins -- matching Tenset, where each deduplicated
+    workload appears once regardless of how many networks use it.
+    """
+    merged: Dict[str, Task] = {}
+    for model in models:
+        for key, task in extract_unique_tasks(model, batch_size).items():
+            merged.setdefault(key, task)
+    return merged
+
+
+def tasks_by_model(
+    models: Sequence[ModelLike],
+    batch_size: int = 1,
+) -> Dict[str, List[Task]]:
+    """Unique tasks grouped by the model they came from."""
+    grouped: Dict[str, List[Task]] = {}
+    for model in models:
+        graph = _as_graph(model, batch_size)
+        grouped[graph.name] = list(graph.unique_tasks().values())
+    return grouped

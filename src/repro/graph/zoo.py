@@ -1,0 +1,383 @@
+"""The model zoo: builders for the DNN models used in the paper's evaluation.
+
+Every builder returns a :class:`~repro.graph.model.ModelGraph` whose nodes
+carry TIR tasks tagged with the model name (the cross-model domain label).
+The networks follow the published architectures at full operator count, with
+spatial sizes chosen to keep the synthetic substrate laptop-sized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ModelError
+from repro.graph.model import ModelGraph
+from repro.ops import (
+    attention_context,
+    attention_scores,
+    batch_norm_inference,
+    conv2d,
+    dense,
+    depthwise_conv2d,
+    elementwise_binary,
+    elementwise_unary,
+    embedding_lookup,
+    global_avg_pool2d,
+    layer_norm,
+    lstm_cell,
+    pool2d,
+    softmax,
+)
+
+# Input resolution used by the CNN builders.  224 is the ImageNet default;
+# the dataset generator may build models at smaller resolutions to scale the
+# experiments down, so it is a parameter everywhere.
+DEFAULT_RESOLUTION = 64
+
+
+# ---------------------------------------------------------------------------
+# Convolutional networks
+# ---------------------------------------------------------------------------
+def resnet50(batch_size: int = 1, resolution: int = DEFAULT_RESOLUTION) -> ModelGraph:
+    """ResNet-50: stem + 4 stages of bottleneck blocks [3, 4, 6, 3] + head."""
+    name = "resnet50"
+    graph = ModelGraph(name, batch_size)
+    res = resolution // 2
+    prev = graph.add(
+        "stem.conv",
+        conv2d(batch_size, 3, 64, resolution, resolution, kernel=7, stride=2, padding=3, model=name),
+    )
+    prev = graph.add("stem.pool", pool2d(batch_size, 64, res, res, kernel=3, stride=2, padding=1, model=name), [prev])
+    res = res // 2
+
+    stage_blocks = [3, 4, 6, 3]
+    stage_channels = [(64, 256), (128, 512), (256, 1024), (512, 2048)]
+    in_ch = 64
+    for stage, (blocks, (mid_ch, out_ch)) in enumerate(zip(stage_blocks, stage_channels)):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            prefix = f"layer{stage + 1}.{block}"
+            block_in = prev
+            if stride == 2:
+                res = res // 2
+            c1 = graph.add(
+                f"{prefix}.conv1",
+                conv2d(batch_size, in_ch, mid_ch, res * stride, res * stride, kernel=1, stride=stride,
+                       padding=0, model=name),
+                [block_in],
+            )
+            c2 = graph.add(
+                f"{prefix}.conv2",
+                conv2d(batch_size, mid_ch, mid_ch, res, res, kernel=3, stride=1, padding=1, model=name),
+                [c1],
+            )
+            c3 = graph.add(
+                f"{prefix}.conv3",
+                conv2d(batch_size, mid_ch, out_ch, res, res, kernel=1, stride=1, padding=0,
+                       activation=None, model=name),
+                [c2],
+            )
+            if block == 0:
+                shortcut = graph.add(
+                    f"{prefix}.downsample",
+                    conv2d(batch_size, in_ch, out_ch, res * stride, res * stride, kernel=1,
+                           stride=stride, padding=0, activation=None, model=name),
+                    [block_in],
+                )
+            else:
+                shortcut = block_in
+            prev = graph.add(
+                f"{prefix}.add",
+                elementwise_binary((batch_size, out_ch, res, res), "add", model=name),
+                [c3, shortcut],
+            )
+            prev = graph.add(
+                f"{prefix}.relu",
+                elementwise_unary((batch_size, out_ch, res, res), "relu", model=name),
+                [prev],
+            )
+            in_ch = out_ch
+    prev = graph.add("head.gap", global_avg_pool2d(batch_size, in_ch, res, res, model=name), [prev])
+    graph.add("head.fc", dense(batch_size, in_ch, 1000, model=name), [prev])
+    return graph
+
+
+def mobilenet_v2(batch_size: int = 1, resolution: int = DEFAULT_RESOLUTION) -> ModelGraph:
+    """MobileNet-V2: inverted residual blocks with depthwise convolutions."""
+    name = "mobilenet_v2"
+    graph = ModelGraph(name, batch_size)
+    res = resolution // 2
+    prev = graph.add(
+        "stem.conv",
+        conv2d(batch_size, 3, 32, resolution, resolution, kernel=3, stride=2, padding=1, model=name),
+    )
+    in_ch = 32
+    # (expansion, out_channels, repeats, stride) per the MobileNet-V2 paper.
+    settings = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ]
+    for stage, (expand, out_ch, repeats, first_stride) in enumerate(settings):
+        for rep in range(repeats):
+            stride = first_stride if rep == 0 else 1
+            prefix = f"block{stage}.{rep}"
+            block_in = prev
+            hidden = in_ch * expand
+            if expand != 1:
+                prev = graph.add(
+                    f"{prefix}.expand",
+                    conv2d(batch_size, in_ch, hidden, res, res, kernel=1, stride=1, padding=0, model=name),
+                    [prev],
+                )
+            if stride == 2:
+                res = max(res // 2, 1)
+            prev = graph.add(
+                f"{prefix}.depthwise",
+                depthwise_conv2d(batch_size, hidden, res * stride, res * stride, kernel=3,
+                                 stride=stride, padding=1, model=name),
+                [prev],
+            )
+            prev = graph.add(
+                f"{prefix}.project",
+                conv2d(batch_size, hidden, out_ch, res, res, kernel=1, stride=1, padding=0,
+                       activation=None, model=name),
+                [prev],
+            )
+            if stride == 1 and in_ch == out_ch:
+                prev = graph.add(
+                    f"{prefix}.add",
+                    elementwise_binary((batch_size, out_ch, res, res), "add", model=name),
+                    [prev, block_in],
+                )
+            in_ch = out_ch
+    prev = graph.add(
+        "head.conv",
+        conv2d(batch_size, in_ch, 1280, res, res, kernel=1, stride=1, padding=0, model=name),
+        [prev],
+    )
+    prev = graph.add("head.gap", global_avg_pool2d(batch_size, 1280, res, res, model=name), [prev])
+    graph.add("head.fc", dense(batch_size, 1280, 1000, model=name), [prev])
+    return graph
+
+
+def vgg16(batch_size: int = 1, resolution: int = DEFAULT_RESOLUTION) -> ModelGraph:
+    """VGG-16: 13 convolutions, 5 max-pools and 3 dense layers."""
+    name = "vgg16"
+    graph = ModelGraph(name, batch_size)
+    config = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)]
+    res = resolution
+    in_ch = 3
+    prev: Optional[str] = None
+    for stage, (channels, convs) in enumerate(config):
+        for i in range(convs):
+            node = graph.add(
+                f"stage{stage}.conv{i}",
+                conv2d(batch_size, in_ch, channels, res, res, kernel=3, stride=1, padding=1, model=name),
+                [prev] if prev else [],
+            )
+            prev = node
+            in_ch = channels
+        prev = graph.add(
+            f"stage{stage}.pool",
+            pool2d(batch_size, channels, res, res, kernel=2, stride=2, model=name),
+            [prev],
+        )
+        res = max(res // 2, 1)
+    flat = in_ch * res * res
+    prev = graph.add("fc1", dense(batch_size, flat, 4096, activation="relu", model=name), [prev])
+    prev = graph.add("fc2", dense(batch_size, 4096, 4096, activation="relu", model=name), [prev])
+    graph.add("fc3", dense(batch_size, 4096, 1000, model=name), [prev])
+    return graph
+
+
+def inception_v3(batch_size: int = 1, resolution: int = DEFAULT_RESOLUTION) -> ModelGraph:
+    """Inception-V3 (reduced): stem + mixed blocks with parallel conv branches."""
+    name = "inception_v3"
+    graph = ModelGraph(name, batch_size)
+    res = resolution // 2
+    prev = graph.add(
+        "stem.conv1",
+        conv2d(batch_size, 3, 32, resolution, resolution, kernel=3, stride=2, padding=1, model=name),
+    )
+    prev = graph.add(
+        "stem.conv2", conv2d(batch_size, 32, 64, res, res, kernel=3, stride=1, padding=1, model=name), [prev]
+    )
+    prev = graph.add(
+        "stem.pool", pool2d(batch_size, 64, res, res, kernel=3, stride=2, padding=1, model=name), [prev]
+    )
+    res = res // 2
+    in_ch = 64
+    for block, channels in enumerate([128, 256, 288, 384]):
+        prefix = f"mixed{block}"
+        branch1 = graph.add(
+            f"{prefix}.b1x1",
+            conv2d(batch_size, in_ch, channels // 4, res, res, kernel=1, stride=1, padding=0, model=name),
+            [prev],
+        )
+        branch3 = graph.add(
+            f"{prefix}.b3x3a",
+            conv2d(batch_size, in_ch, channels // 4, res, res, kernel=1, stride=1, padding=0, model=name),
+            [prev],
+        )
+        branch3 = graph.add(
+            f"{prefix}.b3x3b",
+            conv2d(batch_size, channels // 4, channels // 2, res, res, kernel=3, stride=1, padding=1, model=name),
+            [branch3],
+        )
+        branch5 = graph.add(
+            f"{prefix}.b5x5a",
+            conv2d(batch_size, in_ch, channels // 8, res, res, kernel=1, stride=1, padding=0, model=name),
+            [prev],
+        )
+        branch5 = graph.add(
+            f"{prefix}.b5x5b",
+            conv2d(batch_size, channels // 8, channels // 4, res, res, kernel=5, stride=1, padding=2, model=name),
+            [branch5],
+        )
+        prev = graph.add(
+            f"{prefix}.concat_norm",
+            batch_norm_inference(batch_size, channels, res, res, model=name),
+            [branch1, branch3, branch5],
+        )
+        in_ch = channels
+        if block == 1:
+            prev = graph.add(
+                f"{prefix}.pool", pool2d(batch_size, in_ch, res, res, kernel=3, stride=2, padding=1, model=name), [prev]
+            )
+            res = max(res // 2, 1)
+    prev = graph.add("head.gap", global_avg_pool2d(batch_size, in_ch, res, res, model=name), [prev])
+    graph.add("head.fc", dense(batch_size, in_ch, 1000, model=name), [prev])
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Transformers and recurrent networks
+# ---------------------------------------------------------------------------
+def _transformer_encoder(
+    graph: ModelGraph,
+    name: str,
+    batch_size: int,
+    seq_len: int,
+    hidden: int,
+    heads: int,
+    layers: int,
+    ffn_mult: int = 4,
+    vocab: int = 30_000,
+) -> None:
+    tokens = batch_size * seq_len
+    prev = graph.add("embedding", embedding_lookup(tokens, vocab, hidden, model=name))
+    for layer in range(layers):
+        prefix = f"layer{layer}"
+        ln1 = graph.add(f"{prefix}.ln1", layer_norm(tokens, hidden, model=name), [prev])
+        qkv = graph.add(
+            f"{prefix}.qkv", dense(tokens, hidden, 3 * hidden, model=name), [ln1]
+        )
+        scores = graph.add(
+            f"{prefix}.scores",
+            attention_scores(batch_size * heads, seq_len, hidden // heads, model=name),
+            [qkv],
+        )
+        probs = graph.add(
+            f"{prefix}.softmax", softmax(batch_size * heads * seq_len, seq_len, model=name), [scores]
+        )
+        context = graph.add(
+            f"{prefix}.context",
+            attention_context(batch_size * heads, seq_len, hidden // heads, model=name),
+            [probs, qkv],
+        )
+        attn_out = graph.add(
+            f"{prefix}.attn_out", dense(tokens, hidden, hidden, model=name), [context]
+        )
+        residual1 = graph.add(
+            f"{prefix}.residual1",
+            elementwise_binary((tokens, hidden), "add", model=name),
+            [attn_out, prev],
+        )
+        ln2 = graph.add(f"{prefix}.ln2", layer_norm(tokens, hidden, model=name), [residual1])
+        ffn1 = graph.add(
+            f"{prefix}.ffn1",
+            dense(tokens, hidden, ffn_mult * hidden, activation="gelu", model=name),
+            [ln2],
+        )
+        ffn2 = graph.add(
+            f"{prefix}.ffn2", dense(tokens, ffn_mult * hidden, hidden, model=name), [ffn1]
+        )
+        prev = graph.add(
+            f"{prefix}.residual2",
+            elementwise_binary((tokens, hidden), "add", model=name),
+            [ffn2, residual1],
+        )
+    graph.add("pooler", dense(tokens, hidden, hidden, activation="tanh", model=name), [prev])
+
+
+def bert_tiny(batch_size: int = 1, seq_len: int = 128) -> ModelGraph:
+    """BERT-tiny: 2 layers, hidden 128, 2 heads."""
+    graph = ModelGraph("bert_tiny", batch_size)
+    _transformer_encoder(graph, "bert_tiny", batch_size, seq_len, hidden=128, heads=2, layers=2)
+    return graph
+
+
+def bert_base(batch_size: int = 1, seq_len: int = 128) -> ModelGraph:
+    """BERT-base: 12 layers, hidden 768, 12 heads."""
+    graph = ModelGraph("bert_base", batch_size)
+    _transformer_encoder(graph, "bert_base", batch_size, seq_len, hidden=768, heads=12, layers=12)
+    return graph
+
+
+def gpt2_small(batch_size: int = 1, seq_len: int = 128) -> ModelGraph:
+    """A GPT-2-small-like decoder (12 layers, hidden 768), reusing encoder ops."""
+    graph = ModelGraph("gpt2_small", batch_size)
+    _transformer_encoder(
+        graph, "gpt2_small", batch_size, seq_len, hidden=768, heads=12, layers=12, vocab=50_000
+    )
+    return graph
+
+
+def lstm_lm(batch_size: int = 8, seq_len: int = 16, hidden: int = 256, vocab: int = 10_000) -> ModelGraph:
+    """A two-layer LSTM language model unrolled over ``seq_len`` steps."""
+    name = "lstm_lm"
+    graph = ModelGraph(name, batch_size)
+    prev = graph.add("embedding", embedding_lookup(batch_size * seq_len, vocab, hidden, model=name))
+    for layer in range(2):
+        for step in range(seq_len):
+            prev = graph.add(
+                f"layer{layer}.step{step}",
+                lstm_cell(batch_size, hidden, hidden, model=name),
+                [prev],
+            )
+    graph.add("decoder", dense(batch_size * seq_len, hidden, vocab, model=name), [prev])
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+MODEL_BUILDERS: Dict[str, Callable[..., ModelGraph]] = {
+    "resnet50": resnet50,
+    "mobilenet_v2": mobilenet_v2,
+    "vgg16": vgg16,
+    "inception_v3": inception_v3,
+    "bert_tiny": bert_tiny,
+    "bert_base": bert_base,
+    "gpt2_small": gpt2_small,
+    "lstm_lm": lstm_lm,
+}
+
+
+def list_models() -> List[str]:
+    """Names of all models in the zoo."""
+    return sorted(MODEL_BUILDERS)
+
+
+def build_model(name: str, batch_size: int = 1, **kwargs) -> ModelGraph:
+    """Build a model from the zoo by name."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError as exc:
+        raise ModelError(f"unknown model {name!r}; available: {', '.join(list_models())}") from exc
+    return builder(batch_size=batch_size, **kwargs)

@@ -1,0 +1,57 @@
+"""A small NumPy-based neural-network framework with reverse-mode autodiff.
+
+This package stands in for PyTorch in the offline reproduction.  It provides
+exactly what the CDMPP predictor and the learned baselines need:
+
+* :class:`~repro.nn.tensor.Tensor` -- reverse-mode automatic differentiation
+  over NumPy arrays (broadcasting-aware).
+* Modules: ``Linear``, ``LayerNorm``, ``Dropout``, ``MLP``, ``MultiHeadSelfAttention``,
+  ``TransformerEncoder``, ``LSTMCell``/``LSTM``.
+* Losses, optimizers (SGD, Adam) and learning-rate schedulers (Step, Cyclic,
+  Cosine).
+"""
+
+from repro.nn.tensor import Tensor, concatenate, no_grad, stack
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import Dropout, GELU, LayerNorm, Linear, ReLU, Tanh
+from repro.nn.mlp import MLP
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.transformer import TransformerEncoder, TransformerEncoderLayer
+from repro.nn.lstm import LSTM, LSTMCell
+from repro.nn.losses import huber_loss, mae_loss, mape_loss, mse_loss, mspe_loss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.schedulers import CosineLR, CyclicLR, LRScheduler, StepLR
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "concatenate",
+    "stack",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "MLP",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "LSTMCell",
+    "LSTM",
+    "mse_loss",
+    "mae_loss",
+    "mape_loss",
+    "mspe_loss",
+    "huber_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "CyclicLR",
+    "CosineLR",
+]

@@ -1,0 +1,57 @@
+"""Multi-head self-attention."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention over ``[batch, seq, dim]`` inputs.
+
+    An optional ``mask`` of shape ``[batch, seq]`` (1 = valid, 0 = padding)
+    prevents attention to padded positions, which the CDMPP predictor uses
+    because Compact ASTs in one batch may have different leaf counts.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ModelError(f"attention dim {dim} must be divisible by num_heads {num_heads}")
+        self.dim = int(dim)
+        self.num_heads = int(num_heads)
+        self.head_dim = self.dim // self.num_heads
+        self.qkv = Linear(dim, 3 * dim, rng=rng)
+        self.out = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[Tensor] = None) -> Tensor:  # noqa: D102
+        batch, seq, dim = x.shape
+        qkv = self.qkv(x)  # [B, S, 3D]
+        qkv = qkv.reshape(batch, seq, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # [3, B, H, S, Hd]
+        query, key, value = qkv[0], qkv[1], qkv[2]
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (query @ key.transpose(0, 1, 3, 2)) * scale  # [B, H, S, S]
+        if mask is not None:
+            # mask: [B, S] -> [B, 1, 1, S]; invalid positions get a large negative bias.
+            bias = (1.0 - mask.reshape(batch, 1, 1, seq)) * (-1e9)
+            scores = scores + bias
+        weights = scores.softmax(axis=-1)
+        weights = self.dropout(weights)
+        context = weights @ value  # [B, H, S, Hd]
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        return self.out(context)

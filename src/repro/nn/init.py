@@ -1,0 +1,43 @@
+"""Weight initialisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+# A module-level generator gives deterministic initialisation per process as
+# long as modules are constructed in a fixed order; callers that need full
+# control pass their own generator to the layer constructors.
+_DEFAULT_RNG = new_rng("nn-init")
+
+
+def set_default_seed(seed: int | str | None) -> None:
+    """Reset the default initialisation stream (used by tests and the auto-tuner)."""
+    global _DEFAULT_RNG
+    _DEFAULT_RNG = new_rng(seed)
+
+
+def default_rng() -> np.random.Generator:
+    """The process-wide default initialisation generator."""
+    return _DEFAULT_RNG
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for dense weights."""
+    rng = rng or _DEFAULT_RNG
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_normal(shape: tuple, rng: np.random.Generator | None = None) -> np.ndarray:
+    """He/Kaiming normal initialisation for ReLU networks."""
+    rng = rng or _DEFAULT_RNG
+    fan_in = shape[0]
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,122 @@
+"""Basic layers: Linear, LayerNorm, Dropout and activation modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine transformation ``y = x @ W + b`` over the trailing dimension."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ModelError("Linear feature sizes must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features} -> {self.out_features})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing dimension with affine parameters."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.features = int(features)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(features), name="gamma")
+        self.beta = Parameter(np.zeros(features), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / (variance + self.eps).sqrt()
+        return normalised * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode or with rate 0."""
+
+    def __init__(self, rate: float = 0.1, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ModelError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = rng or init.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        return x.relu()
+
+
+class GELU(Module):
+    """Gaussian error linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        return x.gelu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        return x.sigmoid()
+
+
+ACTIVATIONS = {
+    "relu": ReLU,
+    "gelu": GELU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+}
+
+
+def make_activation(name: str) -> Module:
+    """Instantiate an activation module by name."""
+    try:
+        return ACTIVATIONS[name]()
+    except KeyError as exc:
+        raise ModelError(
+            f"unknown activation {name!r}; available: {', '.join(sorted(ACTIVATIONS))}"
+        ) from exc

@@ -1,0 +1,54 @@
+"""Loss functions used by the cost models and the ablation studies.
+
+All losses take prediction and target tensors of matching shape and return a
+scalar tensor.  The paper's ablation (Tables 4 and 5) compares MSE, MAPE,
+MSPE and the hybrid MSE+MAPE objective; the hybrid itself lives in
+:mod:`repro.core.losses` because it carries the CDMPP-specific λ coefficient.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TrainingError
+from repro.nn.tensor import Tensor
+
+_EPS = 1e-9
+
+
+def _check(pred: Tensor, target: Tensor) -> None:
+    if pred.shape != target.shape:
+        raise TrainingError(f"loss shape mismatch: pred {pred.shape} vs target {target.shape}")
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    _check(pred, target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    _check(pred, target)
+    return (pred - target).abs().mean()
+
+
+def mape_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute percentage error: mean(|pred - target| / target)."""
+    _check(pred, target)
+    return ((pred - target).abs() / (target.abs() + _EPS)).mean()
+
+
+def mspe_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared percentage error: mean(((pred - target) / target)^2)."""
+    _check(pred, target)
+    ratio = (pred - target) / (target.abs() + _EPS)
+    return (ratio * ratio).mean()
+
+
+def huber_loss(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss (smooth L1): quadratic near zero, linear in the tails."""
+    _check(pred, target)
+    diff = (pred - target).abs()
+    quadratic = diff.clip(0.0, delta)
+    linear = diff - quadratic
+    return (quadratic * quadratic * 0.5 + linear * delta).mean()

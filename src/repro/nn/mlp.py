@@ -1,0 +1,53 @@
+"""Multi-layer perceptron built from Linear layers and activations."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import Dropout, Linear, make_activation
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class MLP(Module):
+    """A feed-forward network with configurable hidden widths.
+
+    ``hidden_sizes`` may be empty, in which case the MLP degenerates to one
+    Linear layer.  The activation is applied after every hidden layer but not
+    after the output layer.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        out_features: int,
+        activation: str = "relu",
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ModelError("MLP feature sizes must be positive")
+        sizes = [int(in_features), *[int(h) for h in hidden_sizes], int(out_features)]
+        if any(s <= 0 for s in sizes):
+            raise ModelError(f"all MLP layer sizes must be positive, got {sizes}")
+        self.layers = [Linear(a, b, rng=rng) for a, b in zip(sizes[:-1], sizes[1:])]
+        self.activations = [make_activation(activation) for _ in range(len(self.layers) - 1)]
+        self.dropouts = [Dropout(dropout, rng=rng) for _ in range(len(self.layers) - 1)]
+        self.sizes = sizes
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index < len(self.layers) - 1:
+                x = self.activations[index](x)
+                x = self.dropouts[index](x)
+        return x
+
+    def __repr__(self) -> str:
+        arch = " -> ".join(str(s) for s in self.sizes)
+        return f"MLP({arch})"

@@ -1,0 +1,91 @@
+"""Learning-rate schedulers (Step, Cyclic, Cosine).
+
+The paper's auto-tuner selects CyclicLR for the final configuration
+(Appendix B); StepLR and CosineLR are provided for the hyper-parameter
+search space.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TrainingError
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: adjusts ``optimizer.lr`` every time :meth:`step` is called."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.step_count = 0
+
+    def get_lr(self) -> float:
+        """The learning rate for the current step count."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and update the optimizer's learning rate."""
+        self.step_count += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 30, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise TrainingError("StepLR step_size must be positive")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def get_lr(self) -> float:  # noqa: D102
+        return self.base_lr * (self.gamma ** (self.step_count // self.step_size))
+
+
+class CyclicLR(LRScheduler):
+    """Triangular cyclic learning rate between ``base_lr`` and ``max_lr``."""
+
+    def __init__(self, optimizer: Optimizer, max_lr: float | None = None, cycle_steps: int = 100):
+        super().__init__(optimizer)
+        if cycle_steps <= 1:
+            raise TrainingError("CyclicLR cycle_steps must be > 1")
+        self.max_lr = float(max_lr) if max_lr is not None else self.base_lr * 5.0
+        self.cycle_steps = int(cycle_steps)
+
+    def get_lr(self) -> float:  # noqa: D102
+        cycle_pos = self.step_count % self.cycle_steps
+        half = self.cycle_steps / 2.0
+        fraction = cycle_pos / half if cycle_pos <= half else (self.cycle_steps - cycle_pos) / half
+        return self.base_lr + (self.max_lr - self.base_lr) * fraction
+
+
+class CosineLR(LRScheduler):
+    """Cosine annealing from the base learning rate to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int = 1000, min_lr: float = 1e-6):
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise TrainingError("CosineLR total_steps must be positive")
+        self.total_steps = int(total_steps)
+        self.min_lr = float(min_lr)
+
+    def get_lr(self) -> float:  # noqa: D102
+        progress = min(self.step_count / self.total_steps, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + math.cos(math.pi * progress))
+
+
+def make_scheduler(name: str, optimizer: Optimizer, **kwargs) -> LRScheduler:
+    """Build a scheduler by name, as the auto-tuner's search space does."""
+    name = name.lower()
+    if name == "step":
+        return StepLR(optimizer, **kwargs)
+    if name == "cyclic":
+        return CyclicLR(optimizer, **kwargs)
+    if name == "cosine":
+        return CosineLR(optimizer, **kwargs)
+    raise TrainingError(f"unknown scheduler {name!r} (expected step/cyclic/cosine)")

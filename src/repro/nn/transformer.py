@@ -1,0 +1,67 @@
+"""Transformer encoder layers (pre-norm variant)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, GELU, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class TransformerEncoderLayer(Module):
+    """One pre-norm Transformer encoder block (attention + feed-forward)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        ffn_dim = ffn_dim or 4 * dim
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadSelfAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, rng=rng)
+        self.ffn_act = GELU()
+        self.ffn_out = Linear(ffn_dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[Tensor] = None) -> Tensor:  # noqa: D102
+        x = x + self.dropout(self.attention(self.norm1(x), mask=mask))
+        x = x + self.dropout(self.ffn_out(self.ffn_act(self.ffn_in(self.norm2(x)))))
+        return x
+
+
+class TransformerEncoder(Module):
+    """A stack of Transformer encoder layers with a final layer norm."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        num_layers: int,
+        ffn_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if num_layers <= 0:
+            raise ModelError("TransformerEncoder needs at least one layer")
+        self.layers = [
+            TransformerEncoderLayer(dim, num_heads, ffn_dim=ffn_dim, dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        ]
+        self.final_norm = LayerNorm(dim)
+
+    def forward(self, x: Tensor, mask: Optional[Tensor] = None) -> Tensor:  # noqa: D102
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return self.final_norm(x)

@@ -1,0 +1,39 @@
+"""Operator library: builders that turn DNN operators into TIR tasks.
+
+Each builder returns a :class:`repro.tir.task.Task` describing the iteration
+space and statements of one computational subgraph, optionally with fused
+epilogues (bias add, ReLU, residual add) the way TVM's Relay fusion produces
+fused subgraphs.
+"""
+
+from repro.ops.conv import conv2d, depthwise_conv2d
+from repro.ops.dense import batch_matmul, dense
+from repro.ops.elementwise import elementwise_binary, elementwise_unary
+from repro.ops.pooling import global_avg_pool2d, pool2d
+from repro.ops.norm import batch_norm_inference, layer_norm, softmax
+from repro.ops.attention import attention_scores, attention_context
+from repro.ops.recurrent import lstm_cell
+from repro.ops.reduce import reduce_op
+from repro.ops.embedding import embedding_lookup
+from repro.ops.registry import OP_BUILDERS, build_op
+
+__all__ = [
+    "conv2d",
+    "depthwise_conv2d",
+    "dense",
+    "batch_matmul",
+    "elementwise_unary",
+    "elementwise_binary",
+    "pool2d",
+    "global_avg_pool2d",
+    "batch_norm_inference",
+    "layer_norm",
+    "softmax",
+    "attention_scores",
+    "attention_context",
+    "lstm_cell",
+    "reduce_op",
+    "embedding_lookup",
+    "OP_BUILDERS",
+    "build_op",
+]

@@ -1,0 +1,79 @@
+"""Attention-related operator builders (scores and context matmuls).
+
+A Transformer self-attention block decomposes into: QKV projections (dense),
+``scores = Q @ K^T`` (attention_scores), softmax, ``context = scores @ V``
+(attention_context), and the output projection (dense).  The two batched
+matmuls get their own builders so their distinct access patterns show up in
+the dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tir.buffer import Buffer
+from repro.tir.task import IterVar, ReadSpec, StatementSpec, Task
+
+
+def attention_scores(
+    batch_heads: int,
+    seq_len: int,
+    head_dim: int,
+    *,
+    model: Optional[str] = None,
+) -> Task:
+    """``scores[b, i, j] = sum_d Q[b, i, d] * K[b, j, d]`` with scaling."""
+    query = Buffer("query", (batch_heads, seq_len, head_dim))
+    key = Buffer("key", (batch_heads, seq_len, head_dim))
+    out = Buffer("scores", (batch_heads, seq_len, seq_len))
+    iter_vars = (
+        IterVar("b", batch_heads),
+        IterVar("i", seq_len),
+        IterVar("j", seq_len),
+        IterVar("d", head_dim, "reduce"),
+    )
+    body = StatementSpec(
+        "attention_scores",
+        out,
+        ("b", "i", "j"),
+        reads=(ReadSpec(query, ("b", "i", "d")), ReadSpec(key, ("b", "j", "d"))),
+        reduction=True,
+    )
+    epilogues = (
+        StatementSpec(
+            "attention_scores.scale",
+            out,
+            ("b", "i", "j"),
+            reads=(ReadSpec(out, ("b", "i", "j")),),
+        ),
+    )
+    params = {"batch_heads": batch_heads, "seq_len": seq_len, "head_dim": head_dim}
+    return Task("attention_scores", params, iter_vars, body, epilogues, model=model)
+
+
+def attention_context(
+    batch_heads: int,
+    seq_len: int,
+    head_dim: int,
+    *,
+    model: Optional[str] = None,
+) -> Task:
+    """``context[b, i, d] = sum_j P[b, i, j] * V[b, j, d]``."""
+    probs = Buffer("probs", (batch_heads, seq_len, seq_len))
+    value = Buffer("value", (batch_heads, seq_len, head_dim))
+    out = Buffer("context", (batch_heads, seq_len, head_dim))
+    iter_vars = (
+        IterVar("b", batch_heads),
+        IterVar("i", seq_len),
+        IterVar("d", head_dim),
+        IterVar("j", seq_len, "reduce"),
+    )
+    body = StatementSpec(
+        "attention_context",
+        out,
+        ("b", "i", "d"),
+        reads=(ReadSpec(probs, ("b", "i", "j")), ReadSpec(value, ("b", "j", "d"), pattern="strided")),
+        reduction=True,
+    )
+    params = {"batch_heads": batch_heads, "seq_len": seq_len, "head_dim": head_dim}
+    return Task("attention_context", params, iter_vars, body, model=model)

@@ -1,0 +1,67 @@
+"""Shared helpers for operator builders."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import TIRError
+from repro.tir.buffer import Buffer
+from repro.tir.task import ReadSpec, StatementSpec
+
+
+def conv_out_dim(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution/pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise TIRError(
+            f"invalid convolution geometry: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def fused_epilogues(
+    output: Buffer,
+    output_vars: Sequence[str],
+    *,
+    bias: Optional[Buffer] = None,
+    bias_var: Optional[str] = None,
+    activation: Optional[str] = None,
+    residual: Optional[Buffer] = None,
+    name_prefix: str = "",
+) -> Tuple[StatementSpec, ...]:
+    """Build the fused epilogue statements common to many operators.
+
+    The epilogues read and rewrite the anchor's output buffer in place, which
+    is how TVM represents fused bias/activation stages at the TIR level
+    (one extra computation statement per stage, i.e. one extra AST leaf).
+    """
+    prefix = f"{name_prefix}." if name_prefix else ""
+    epilogues = []
+    output_vars = tuple(output_vars)
+    if bias is not None:
+        reads = (ReadSpec(output, output_vars), ReadSpec(bias, (bias_var or output_vars[-1],)))
+        epilogues.append(
+            StatementSpec(f"{prefix}bias_add", output, output_vars, reads=reads)
+        )
+    if residual is not None:
+        reads = (ReadSpec(output, output_vars), ReadSpec(residual, output_vars))
+        epilogues.append(
+            StatementSpec(f"{prefix}residual_add", output, output_vars, reads=reads)
+        )
+    if activation is not None:
+        intrinsic = {"relu": "max", "sigmoid": "sigmoid", "tanh": "tanh", "gelu": "erf"}.get(
+            activation
+        )
+        if intrinsic is None:
+            raise TIRError(f"unsupported fused activation {activation!r}")
+        epilogues.append(
+            StatementSpec(
+                f"{prefix}{activation}",
+                output,
+                output_vars,
+                reads=(ReadSpec(output, output_vars),),
+                intrinsics=(intrinsic,),
+            )
+        )
+    return tuple(epilogues)

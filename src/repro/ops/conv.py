@@ -1,0 +1,145 @@
+"""Convolution operator builders."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tir.buffer import Buffer
+from repro.tir.task import IterVar, ReadSpec, StatementSpec, Task
+from repro.ops.common import conv_out_dim, fused_epilogues
+
+# Stable small integer ids for fused activations (used in workload params).
+_ACTIVATION_IDS = {None: 0, "relu": 1, "sigmoid": 2, "tanh": 3, "gelu": 4}
+
+
+def conv2d(
+    batch: int,
+    in_channels: int,
+    out_channels: int,
+    height: int,
+    width: int,
+    kernel: int = 3,
+    stride: int = 1,
+    padding: int = 1,
+    *,
+    bias: bool = True,
+    activation: Optional[str] = "relu",
+    residual: bool = False,
+    model: Optional[str] = None,
+) -> Task:
+    """A (optionally fused) 2D convolution in NCHW layout.
+
+    Iteration space: spatial (n, oc, oh, ow), reduction (ic, kh, kw); the
+    anchor statement reads the input feature map (gather pattern, because of
+    the stride/padding arithmetic) and the weights.
+    """
+    out_h = conv_out_dim(height, kernel, stride, padding)
+    out_w = conv_out_dim(width, kernel, stride, padding)
+
+    data = Buffer("data", (batch, in_channels, height, width))
+    weight = Buffer("weight", (out_channels, in_channels, kernel, kernel))
+    conv_out = Buffer("conv", (batch, out_channels, out_h, out_w))
+
+    iter_vars = (
+        IterVar("n", batch),
+        IterVar("oc", out_channels),
+        IterVar("oh", out_h),
+        IterVar("ow", out_w),
+        IterVar("ic", in_channels, "reduce"),
+        IterVar("kh", kernel, "reduce"),
+        IterVar("kw", kernel, "reduce"),
+    )
+    body = StatementSpec(
+        "conv2d",
+        conv_out,
+        ("n", "oc", "oh", "ow"),
+        reads=(
+            ReadSpec(data, ("n", "ic", "oh", "ow"), pattern="strided" if stride > 1 else "contiguous"),
+            ReadSpec(weight, ("oc", "ic", "kh", "kw")),
+        ),
+        reduction=True,
+    )
+    epilogues = fused_epilogues(
+        conv_out,
+        ("n", "oc", "oh", "ow"),
+        bias=Buffer("bias", (out_channels,)) if bias else None,
+        bias_var="oc",
+        activation=activation,
+        residual=Buffer("residual", (batch, out_channels, out_h, out_w)) if residual else None,
+        name_prefix="conv2d",
+    )
+    params = {
+        "batch": batch,
+        "in_channels": in_channels,
+        "out_channels": out_channels,
+        "height": height,
+        "width": width,
+        "kernel": kernel,
+        "stride": stride,
+        "padding": padding,
+        "bias": int(bias),
+        "activation": _ACTIVATION_IDS.get(activation, 0),
+        "residual": int(residual),
+    }
+    return Task("conv2d", params, iter_vars, body, epilogues, model=model)
+
+
+def depthwise_conv2d(
+    batch: int,
+    channels: int,
+    height: int,
+    width: int,
+    kernel: int = 3,
+    stride: int = 1,
+    padding: int = 1,
+    *,
+    bias: bool = True,
+    activation: Optional[str] = "relu",
+    model: Optional[str] = None,
+) -> Task:
+    """A depthwise 2D convolution (one filter per channel), as in MobileNet."""
+    out_h = conv_out_dim(height, kernel, stride, padding)
+    out_w = conv_out_dim(width, kernel, stride, padding)
+
+    data = Buffer("data", (batch, channels, height, width))
+    weight = Buffer("weight", (channels, kernel, kernel))
+    out = Buffer("dwconv", (batch, channels, out_h, out_w))
+
+    iter_vars = (
+        IterVar("n", batch),
+        IterVar("c", channels),
+        IterVar("oh", out_h),
+        IterVar("ow", out_w),
+        IterVar("kh", kernel, "reduce"),
+        IterVar("kw", kernel, "reduce"),
+    )
+    body = StatementSpec(
+        "depthwise_conv2d",
+        out,
+        ("n", "c", "oh", "ow"),
+        reads=(
+            ReadSpec(data, ("n", "c", "oh", "ow"), pattern="strided" if stride > 1 else "contiguous"),
+            ReadSpec(weight, ("c", "kh", "kw")),
+        ),
+        reduction=True,
+    )
+    epilogues = fused_epilogues(
+        out,
+        ("n", "c", "oh", "ow"),
+        bias=Buffer("bias", (channels,)) if bias else None,
+        bias_var="c",
+        activation=activation,
+        name_prefix="dwconv",
+    )
+    params = {
+        "batch": batch,
+        "channels": channels,
+        "height": height,
+        "width": width,
+        "kernel": kernel,
+        "stride": stride,
+        "padding": padding,
+        "bias": int(bias),
+        "activation": _ACTIVATION_IDS.get(activation, 0),
+    }
+    return Task("depthwise_conv2d", params, iter_vars, body, epilogues, model=model)

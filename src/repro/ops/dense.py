@@ -1,0 +1,87 @@
+"""Dense (fully-connected) and batched matrix multiplication builders."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tir.buffer import Buffer
+from repro.tir.task import IterVar, ReadSpec, StatementSpec, Task
+from repro.ops.common import fused_epilogues
+
+# Stable small integer ids for fused activations (used in workload params).
+_ACTIVATION_IDS = {None: 0, "relu": 1, "sigmoid": 2, "tanh": 3, "gelu": 4}
+
+
+def dense(
+    batch: int,
+    in_features: int,
+    out_features: int,
+    *,
+    bias: bool = True,
+    activation: Optional[str] = None,
+    model: Optional[str] = None,
+) -> Task:
+    """A dense layer ``Y[b, o] = sum_k X[b, k] * W[o, k]`` with fused epilogues."""
+    data = Buffer("data", (batch, in_features))
+    weight = Buffer("weight", (out_features, in_features))
+    out = Buffer("dense", (batch, out_features))
+
+    iter_vars = (
+        IterVar("b", batch),
+        IterVar("o", out_features),
+        IterVar("k", in_features, "reduce"),
+    )
+    body = StatementSpec(
+        "dense",
+        out,
+        ("b", "o"),
+        reads=(ReadSpec(data, ("b", "k")), ReadSpec(weight, ("o", "k"))),
+        reduction=True,
+    )
+    epilogues = fused_epilogues(
+        out,
+        ("b", "o"),
+        bias=Buffer("bias", (out_features,)) if bias else None,
+        bias_var="o",
+        activation=activation,
+        name_prefix="dense",
+    )
+    params = {
+        "batch": batch,
+        "in_features": in_features,
+        "out_features": out_features,
+        "bias": int(bias),
+        "activation": _ACTIVATION_IDS.get(activation, 0),
+    }
+    return Task("dense", params, iter_vars, body, epilogues, model=model)
+
+
+def batch_matmul(
+    batch: int,
+    rows: int,
+    cols: int,
+    inner: int,
+    *,
+    model: Optional[str] = None,
+    name: str = "batch_matmul",
+) -> Task:
+    """Batched matrix multiplication ``Y[b, i, j] = sum_k A[b, i, k] * B[b, k, j]``."""
+    lhs = Buffer("lhs", (batch, rows, inner))
+    rhs = Buffer("rhs", (batch, inner, cols))
+    out = Buffer("bmm", (batch, rows, cols))
+
+    iter_vars = (
+        IterVar("b", batch),
+        IterVar("i", rows),
+        IterVar("j", cols),
+        IterVar("k", inner, "reduce"),
+    )
+    body = StatementSpec(
+        name,
+        out,
+        ("b", "i", "j"),
+        reads=(ReadSpec(lhs, ("b", "i", "k")), ReadSpec(rhs, ("b", "k", "j"), pattern="strided")),
+        reduction=True,
+    )
+    params = {"batch": batch, "rows": rows, "cols": cols, "inner": inner}
+    return Task("batch_matmul", params, iter_vars, body, model=model)

@@ -1,0 +1,77 @@
+"""Elementwise operator builders (unary activations and binary arithmetic)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import TIRError
+from repro.tir.buffer import Buffer
+from repro.tir.task import IterVar, ReadSpec, StatementSpec, Task
+
+_UNARY_INTRINSICS = {
+    "relu": ("max",),
+    "sigmoid": ("sigmoid",),
+    "tanh": ("tanh",),
+    "exp": ("exp",),
+    "sqrt": ("sqrt",),
+    "gelu": ("erf",),
+    "identity": (),
+}
+
+_BINARY_KINDS = ("add", "sub", "mul", "div")
+
+
+def _iter_vars_for_shape(shape: Sequence[int]) -> Tuple[IterVar, ...]:
+    return tuple(IterVar(f"d{i}", extent) for i, extent in enumerate(shape))
+
+
+def elementwise_unary(
+    shape: Sequence[int],
+    kind: str = "relu",
+    *,
+    model: Optional[str] = None,
+) -> Task:
+    """An elementwise unary operator over an arbitrary-rank tensor."""
+    if kind not in _UNARY_INTRINSICS:
+        raise TIRError(f"unsupported unary elementwise kind {kind!r}")
+    shape = tuple(int(s) for s in shape)
+    data = Buffer("data", shape)
+    out = Buffer(kind, shape)
+    iter_vars = _iter_vars_for_shape(shape)
+    var_names = tuple(iv.name for iv in iter_vars)
+    body = StatementSpec(
+        kind,
+        out,
+        var_names,
+        reads=(ReadSpec(data, var_names),),
+        intrinsics=_UNARY_INTRINSICS[kind],
+    )
+    params = {"kind_id": list(_UNARY_INTRINSICS).index(kind), "numel": int(data.num_elements)}
+    params.update({f"s{i}": s for i, s in enumerate(shape)})
+    return Task(f"elementwise_{kind}", params, iter_vars, body, model=model)
+
+
+def elementwise_binary(
+    shape: Sequence[int],
+    kind: str = "add",
+    *,
+    model: Optional[str] = None,
+) -> Task:
+    """An elementwise binary operator (e.g. residual addition) over a tensor."""
+    if kind not in _BINARY_KINDS:
+        raise TIRError(f"unsupported binary elementwise kind {kind!r}")
+    shape = tuple(int(s) for s in shape)
+    lhs = Buffer("lhs", shape)
+    rhs = Buffer("rhs", shape)
+    out = Buffer(kind, shape)
+    iter_vars = _iter_vars_for_shape(shape)
+    var_names = tuple(iv.name for iv in iter_vars)
+    body = StatementSpec(
+        kind,
+        out,
+        var_names,
+        reads=(ReadSpec(lhs, var_names), ReadSpec(rhs, var_names)),
+    )
+    params = {"kind_id": _BINARY_KINDS.index(kind), "numel": int(lhs.num_elements)}
+    params.update({f"s{i}": s for i, s in enumerate(shape)})
+    return Task(f"elementwise_{kind}", params, iter_vars, body, model=model)

@@ -1,0 +1,34 @@
+"""Embedding lookup operator builder."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tir.buffer import Buffer
+from repro.tir.task import IterVar, ReadSpec, StatementSpec, Task
+
+
+def embedding_lookup(
+    num_tokens: int,
+    vocab_size: int,
+    embed_dim: int,
+    *,
+    model: Optional[str] = None,
+) -> Task:
+    """Gather rows of an embedding table for a batch of token ids.
+
+    The table read uses the ``gather`` access pattern: the row index comes
+    from data, so accesses are effectively random and memory-bound.
+    """
+    ids = Buffer("token_ids", (num_tokens,), dtype="int32")
+    table = Buffer("embedding_table", (vocab_size, embed_dim))
+    out = Buffer("embeddings", (num_tokens, embed_dim))
+    iter_vars = (IterVar("t", num_tokens), IterVar("e", embed_dim))
+    body = StatementSpec(
+        "embedding_lookup",
+        out,
+        ("t", "e"),
+        reads=(ReadSpec(ids, ("t",), pattern="contiguous"), ReadSpec(table, ("t", "e"), pattern="gather")),
+    )
+    params = {"num_tokens": num_tokens, "vocab_size": vocab_size, "embed_dim": embed_dim}
+    return Task("embedding_lookup", params, iter_vars, body, model=model)

@@ -1,0 +1,135 @@
+"""Normalization and softmax operator builders."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tir.buffer import Buffer
+from repro.tir.task import IterVar, ReadSpec, StatementSpec, Task
+
+
+def batch_norm_inference(
+    batch: int,
+    channels: int,
+    height: int,
+    width: int,
+    *,
+    fused_relu: bool = True,
+    model: Optional[str] = None,
+) -> Task:
+    """Inference-time batch normalization folded into a scale+shift pass."""
+    data = Buffer("data", (batch, channels, height, width))
+    scale = Buffer("scale", (channels,))
+    shift = Buffer("shift", (channels,))
+    out = Buffer("bn", (batch, channels, height, width))
+    iter_vars = (
+        IterVar("n", batch),
+        IterVar("c", channels),
+        IterVar("h", height),
+        IterVar("w", width),
+    )
+    body = StatementSpec(
+        "batch_norm",
+        out,
+        ("n", "c", "h", "w"),
+        reads=(
+            ReadSpec(data, ("n", "c", "h", "w")),
+            ReadSpec(scale, ("c",)),
+            ReadSpec(shift, ("c",)),
+        ),
+    )
+    epilogues = ()
+    if fused_relu:
+        epilogues = (
+            StatementSpec(
+                "bn.relu",
+                out,
+                ("n", "c", "h", "w"),
+                reads=(ReadSpec(out, ("n", "c", "h", "w")),),
+                intrinsics=("max",),
+            ),
+        )
+    params = {"batch": batch, "channels": channels, "height": height, "width": width,
+              "fused_relu": int(fused_relu)}
+    return Task("batch_norm", params, iter_vars, body, epilogues, model=model)
+
+
+def layer_norm(
+    rows: int,
+    features: int,
+    *,
+    model: Optional[str] = None,
+) -> Task:
+    """Layer normalization over the trailing feature dimension.
+
+    Modelled as three fused passes over the ``[rows, features]`` tensor: a
+    moments pass (reads data), a normalise pass (reads data and the per-row
+    statistics, applies ``rsqrt``) and an affine pass (reads gamma/beta).
+    All passes share the spatial iteration space, which matches how TVM's
+    fused layer-norm kernel touches memory.
+    """
+    data = Buffer("data", (rows, features))
+    stats = Buffer("stats", (rows, features))
+    gamma = Buffer("gamma", (features,))
+    beta = Buffer("beta", (features,))
+    out = Buffer("ln", (rows, features))
+    iter_vars = (IterVar("r", rows), IterVar("f", features))
+    body = StatementSpec(
+        "layer_norm.moments",
+        stats,
+        ("r", "f"),
+        reads=(ReadSpec(data, ("r", "f")),),
+    )
+    epilogues = (
+        StatementSpec(
+            "layer_norm.normalize",
+            out,
+            ("r", "f"),
+            reads=(ReadSpec(data, ("r", "f")), ReadSpec(stats, ("r", "f"))),
+            intrinsics=("rsqrt",),
+        ),
+        StatementSpec(
+            "layer_norm.affine",
+            out,
+            ("r", "f"),
+            reads=(ReadSpec(out, ("r", "f")), ReadSpec(gamma, ("f",)), ReadSpec(beta, ("f",))),
+        ),
+    )
+    params = {"rows": rows, "features": features}
+    return Task("layer_norm", params, iter_vars, body, epilogues, model=model)
+
+
+def softmax(
+    rows: int,
+    features: int,
+    *,
+    model: Optional[str] = None,
+) -> Task:
+    """Softmax over the trailing dimension.
+
+    Modelled as an exponentiation pass followed by a normalisation pass over
+    the same ``[rows, features]`` spatial space; the row-sum reduction is
+    folded into the normalisation pass (one extra read), matching the memory
+    behaviour of a fused softmax kernel without inflating its FLOP count.
+    """
+    data = Buffer("data", (rows, features))
+    expd = Buffer("exp", (rows, features))
+    out = Buffer("softmax", (rows, features))
+    iter_vars = (IterVar("r", rows), IterVar("f", features))
+    body = StatementSpec(
+        "softmax.exp",
+        expd,
+        ("r", "f"),
+        reads=(ReadSpec(data, ("r", "f")),),
+        intrinsics=("exp",),
+    )
+    epilogues = (
+        StatementSpec(
+            "softmax.normalize",
+            out,
+            ("r", "f"),
+            reads=(ReadSpec(expd, ("r", "f")), ReadSpec(expd, ("r", "f"), pattern="strided")),
+        ),
+    )
+    params = {"rows": rows, "features": features}
+    return Task("softmax", params, iter_vars, body, epilogues, model=model)

@@ -1,0 +1,86 @@
+"""Pooling operator builders."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TIRError
+from repro.tir.buffer import Buffer
+from repro.tir.task import IterVar, ReadSpec, StatementSpec, Task
+from repro.ops.common import conv_out_dim
+
+
+def pool2d(
+    batch: int,
+    channels: int,
+    height: int,
+    width: int,
+    kernel: int = 2,
+    stride: int = 2,
+    padding: int = 0,
+    kind: str = "max",
+    *,
+    model: Optional[str] = None,
+) -> Task:
+    """2D max/average pooling in NCHW layout."""
+    if kind not in ("max", "avg"):
+        raise TIRError(f"unsupported pooling kind {kind!r}")
+    out_h = conv_out_dim(height, kernel, stride, padding)
+    out_w = conv_out_dim(width, kernel, stride, padding)
+    data = Buffer("data", (batch, channels, height, width))
+    out = Buffer(f"{kind}_pool", (batch, channels, out_h, out_w))
+
+    iter_vars = (
+        IterVar("n", batch),
+        IterVar("c", channels),
+        IterVar("oh", out_h),
+        IterVar("ow", out_w),
+        IterVar("kh", kernel, "reduce"),
+        IterVar("kw", kernel, "reduce"),
+    )
+    body = StatementSpec(
+        f"{kind}_pool2d",
+        out,
+        ("n", "c", "oh", "ow"),
+        reads=(ReadSpec(data, ("n", "c", "oh", "ow"), pattern="strided"),),
+        intrinsics=("max",) if kind == "max" else (),
+        reduction=True,
+    )
+    params = {
+        "batch": batch,
+        "channels": channels,
+        "height": height,
+        "width": width,
+        "kernel": kernel,
+        "stride": stride,
+        "kind_id": 0 if kind == "max" else 1,
+    }
+    return Task("pool2d", params, iter_vars, body, model=model)
+
+
+def global_avg_pool2d(
+    batch: int,
+    channels: int,
+    height: int,
+    width: int,
+    *,
+    model: Optional[str] = None,
+) -> Task:
+    """Global average pooling collapsing the spatial dimensions."""
+    data = Buffer("data", (batch, channels, height, width))
+    out = Buffer("gap", (batch, channels))
+    iter_vars = (
+        IterVar("n", batch),
+        IterVar("c", channels),
+        IterVar("h", height, "reduce"),
+        IterVar("w", width, "reduce"),
+    )
+    body = StatementSpec(
+        "global_avg_pool",
+        out,
+        ("n", "c"),
+        reads=(ReadSpec(data, ("n", "c", "h", "w")),),
+        reduction=True,
+    )
+    params = {"batch": batch, "channels": channels, "height": height, "width": width}
+    return Task("global_avg_pool2d", params, iter_vars, body, model=model)

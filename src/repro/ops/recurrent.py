@@ -1,0 +1,66 @@
+"""Recurrent operator builders (LSTM cell)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tir.buffer import Buffer
+from repro.tir.task import IterVar, ReadSpec, StatementSpec, Task
+
+
+def lstm_cell(
+    batch: int,
+    input_size: int,
+    hidden_size: int,
+    *,
+    model: Optional[str] = None,
+) -> Task:
+    """One LSTM cell step: the 4-gate matmul plus the elementwise gate math.
+
+    The anchor is the ``[batch, 4*hidden] = [batch, input+hidden] @ W^T``
+    contraction; the gate nonlinearities (sigmoid/tanh) and the state update
+    are fused epilogues, which is how TVM schedules an LSTM cell kernel.
+    """
+    concat = Buffer("xh", (batch, input_size + hidden_size))
+    weight = Buffer("weight", (4 * hidden_size, input_size + hidden_size))
+    gates = Buffer("gates", (batch, 4 * hidden_size))
+    cell_state = Buffer("cell", (batch, 4 * hidden_size))
+    hidden = Buffer("hidden", (batch, 4 * hidden_size))
+
+    iter_vars = (
+        IterVar("b", batch),
+        IterVar("g", 4 * hidden_size),
+        IterVar("k", input_size + hidden_size, "reduce"),
+    )
+    body = StatementSpec(
+        "lstm.gates",
+        gates,
+        ("b", "g"),
+        reads=(ReadSpec(concat, ("b", "k")), ReadSpec(weight, ("g", "k"))),
+        reduction=True,
+    )
+    epilogues = (
+        StatementSpec(
+            "lstm.gate_activations",
+            gates,
+            ("b", "g"),
+            reads=(ReadSpec(gates, ("b", "g")),),
+            intrinsics=("sigmoid",),
+        ),
+        StatementSpec(
+            "lstm.cell_update",
+            cell_state,
+            ("b", "g"),
+            reads=(ReadSpec(gates, ("b", "g")), ReadSpec(cell_state, ("b", "g"))),
+            intrinsics=("tanh",),
+        ),
+        StatementSpec(
+            "lstm.hidden_update",
+            hidden,
+            ("b", "g"),
+            reads=(ReadSpec(gates, ("b", "g")), ReadSpec(cell_state, ("b", "g"))),
+            intrinsics=("tanh",),
+        ),
+    )
+    params = {"batch": batch, "input_size": input_size, "hidden_size": hidden_size}
+    return Task("lstm_cell", params, iter_vars, body, epilogues, model=model)

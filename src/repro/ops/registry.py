@@ -1,0 +1,50 @@
+"""Registry mapping operator-type names to their builder functions.
+
+Used by the synthetic dataset generator and by tests that want to enumerate
+the operator space without importing every builder module explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import TIRError
+from repro.tir.task import Task
+from repro.ops.attention import attention_context, attention_scores
+from repro.ops.conv import conv2d, depthwise_conv2d
+from repro.ops.dense import batch_matmul, dense
+from repro.ops.elementwise import elementwise_binary, elementwise_unary
+from repro.ops.embedding import embedding_lookup
+from repro.ops.norm import batch_norm_inference, layer_norm, softmax
+from repro.ops.pooling import global_avg_pool2d, pool2d
+from repro.ops.recurrent import lstm_cell
+from repro.ops.reduce import reduce_op
+
+OP_BUILDERS: Dict[str, Callable[..., Task]] = {
+    "conv2d": conv2d,
+    "depthwise_conv2d": depthwise_conv2d,
+    "dense": dense,
+    "batch_matmul": batch_matmul,
+    "elementwise_unary": elementwise_unary,
+    "elementwise_binary": elementwise_binary,
+    "pool2d": pool2d,
+    "global_avg_pool2d": global_avg_pool2d,
+    "batch_norm_inference": batch_norm_inference,
+    "layer_norm": layer_norm,
+    "softmax": softmax,
+    "attention_scores": attention_scores,
+    "attention_context": attention_context,
+    "lstm_cell": lstm_cell,
+    "reduce_op": reduce_op,
+    "embedding_lookup": embedding_lookup,
+}
+
+
+def build_op(name: str, /, **kwargs) -> Task:
+    """Build a task by operator name, raising a clear error for unknown names."""
+    try:
+        builder = OP_BUILDERS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(OP_BUILDERS))
+        raise TIRError(f"unknown operator {name!r}; known operators: {known}") from exc
+    return builder(**kwargs)

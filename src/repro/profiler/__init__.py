@@ -1,0 +1,6 @@
+"""Profiling substrate: measure tensor programs on (simulated) devices."""
+
+from repro.profiler.records import MeasureRecord
+from repro.profiler.profiler import Profiler
+
+__all__ = ["MeasureRecord", "Profiler"]

@@ -1,0 +1,6 @@
+"""End-to-end replay: simulate a model's execution from per-program latencies."""
+
+from repro.replay.replayer import ReplayResult, Replayer
+from repro.replay.e2e import measure_end_to_end, predict_end_to_end
+
+__all__ = ["Replayer", "ReplayResult", "predict_end_to_end", "measure_end_to_end"]

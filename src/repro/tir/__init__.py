@@ -1,0 +1,75 @@
+"""A miniature tensor-program IR (TIR) substrate.
+
+The real CDMPP consumes TVM TIR produced by Ansor.  This package provides the
+pieces of that stack the cost model actually depends on:
+
+* :mod:`repro.tir.expr` / :mod:`repro.tir.stmt` -- expression and statement
+  nodes (loop nests, compute statements, buffer accesses).
+* :mod:`repro.tir.task` -- declarative task templates (one per computational
+  subgraph), the unit on which schedules are sampled.
+* :mod:`repro.tir.schedule` -- Ansor-style schedule primitives (split,
+  reorder, fuse, annotate, cache) and random schedule sampling.
+* :mod:`repro.tir.lower` -- lowering a (task, schedule) pair to a concrete
+  :class:`~repro.tir.program.TensorProgram`.
+* :mod:`repro.tir.ast` -- Tiramisu-style ASTs and pre-order serialization,
+  the input of Compact-AST feature extraction.
+"""
+
+from repro.tir.buffer import Buffer
+from repro.tir.expr import (
+    BinaryOp,
+    BufferLoad,
+    Call,
+    Expr,
+    FloatImm,
+    IntImm,
+    Var,
+)
+from repro.tir.stmt import ComputeStmt, ForLoop, LoopKind, SeqStmt, Stmt
+from repro.tir.task import IterVar, ReadSpec, StatementSpec, Task
+from repro.tir.schedule import (
+    AnnotateStep,
+    CacheStep,
+    FuseStep,
+    ReorderStep,
+    Schedule,
+    SplitStep,
+    random_schedule,
+)
+from repro.tir.lower import lower
+from repro.tir.program import LeafRecord, ProgramStats, TensorProgram
+from repro.tir.ast import ASTNode, build_ast, preorder_serialize
+
+__all__ = [
+    "Buffer",
+    "Expr",
+    "Var",
+    "IntImm",
+    "FloatImm",
+    "BinaryOp",
+    "Call",
+    "BufferLoad",
+    "Stmt",
+    "ForLoop",
+    "SeqStmt",
+    "ComputeStmt",
+    "LoopKind",
+    "IterVar",
+    "ReadSpec",
+    "StatementSpec",
+    "Task",
+    "Schedule",
+    "SplitStep",
+    "ReorderStep",
+    "FuseStep",
+    "AnnotateStep",
+    "CacheStep",
+    "random_schedule",
+    "lower",
+    "TensorProgram",
+    "ProgramStats",
+    "LeafRecord",
+    "ASTNode",
+    "build_ast",
+    "preorder_serialize",
+]

@@ -1,0 +1,116 @@
+"""Tiramisu-style ASTs of tensor programs and their pre-order serialization.
+
+The AST has two node types (Fig. 1 of the paper): non-leaf nodes for loop
+variables and leaf nodes for computation statements.  The Compact AST keeps
+only the leaves and records their positions via the pre-order traversal with
+a ``-1`` marker appended after each leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.tir.program import TensorProgram
+from repro.tir.stmt import ComputeStmt, ForLoop, SeqStmt, Stmt
+
+LEAF_MARKER = -1
+
+
+@dataclass
+class ASTNode:
+    """One node of the Tiramisu-style AST."""
+
+    kind: str  # "loop" | "compute"
+    label: str
+    extent: int = 0
+    children: List["ASTNode"] = field(default_factory=list)
+    stmt: Optional[ComputeStmt] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Leaves are computation statements."""
+        return self.kind == "compute"
+
+    def num_nodes(self) -> int:
+        """Total node count of the subtree rooted here."""
+        return 1 + sum(child.num_nodes() for child in self.children)
+
+    def num_leaves(self) -> int:
+        """Leaf count of the subtree rooted here."""
+        if self.is_leaf:
+            return 1
+        return sum(child.num_leaves() for child in self.children)
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+
+def _build(stmt: Stmt) -> List[ASTNode]:
+    if isinstance(stmt, ForLoop):
+        node = ASTNode(kind="loop", label=stmt.var.name, extent=stmt.extent)
+        node.children = _build(stmt.body)
+        return [node]
+    if isinstance(stmt, SeqStmt):
+        nodes: List[ASTNode] = []
+        for child in stmt.stmts:
+            nodes.extend(_build(child))
+        return nodes
+    if isinstance(stmt, ComputeStmt):
+        return [ASTNode(kind="compute", label=stmt.label, stmt=stmt)]
+    raise TypeError(f"unexpected statement type {type(stmt).__name__}")
+
+
+def build_ast(program: TensorProgram) -> ASTNode:
+    """Build the Tiramisu-style AST of ``program``.
+
+    A synthetic root node is added so programs whose outermost level is a
+    statement sequence still form a single tree.
+    """
+    children = _build(program.root)
+    if len(children) == 1 and children[0].kind == "loop":
+        return children[0]
+    root = ASTNode(kind="loop", label="root", extent=1)
+    root.children = children
+    return root
+
+
+def preorder_serialize(root: ASTNode) -> Tuple[List[int], List[int]]:
+    """Serialize the AST by pre-order traversal.
+
+    Returns ``(sequence, leaf_positions)`` where ``sequence`` assigns each
+    node its pre-order index and appends :data:`LEAF_MARKER` after every leaf
+    (Fig. 1(d) of the paper), and ``leaf_positions`` lists the pre-order
+    index of each leaf in traversal order -- this is the *ordering vector*
+    used by the positional encoding.
+    """
+    sequence: List[int] = []
+    leaf_positions: List[int] = []
+    counter = 0
+
+    def visit(node: ASTNode) -> None:
+        nonlocal counter
+        index = counter
+        counter += 1
+        sequence.append(index)
+        if node.is_leaf:
+            leaf_positions.append(index)
+            sequence.append(LEAF_MARKER)
+        for child in node.children:
+            visit(child)
+
+    visit(root)
+    return sequence, leaf_positions
+
+
+def ast_summary(program: TensorProgram) -> dict:
+    """Node/leaf/depth statistics of a program's AST (Fig. 2 analysis)."""
+    root = build_ast(program)
+    return {
+        "num_nodes": root.num_nodes(),
+        "num_leaves": root.num_leaves(),
+        "depth": root.depth(),
+    }

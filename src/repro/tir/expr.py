@@ -1,0 +1,230 @@
+"""Expression nodes of the miniature TIR.
+
+Expressions appear on the right-hand side of compute statements.  The cost
+model never evaluates them numerically; it only needs structural information
+(arithmetic operation counts, intrinsic usage, buffer loads), so the node set
+is intentionally small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.errors import TIRError
+from repro.tir.buffer import Buffer
+
+# Cost (in scalar FLOPs) of one application of each intrinsic.  The values
+# follow the common convention used by analytical GPU models: transcendental
+# functions are an order of magnitude more expensive than a fused multiply-add.
+INTRINSIC_FLOPS: Dict[str, float] = {
+    "exp": 8.0,
+    "log": 8.0,
+    "sqrt": 4.0,
+    "rsqrt": 5.0,
+    "tanh": 10.0,
+    "sigmoid": 10.0,
+    "erf": 12.0,
+    "max": 1.0,
+    "min": 1.0,
+    "abs": 1.0,
+    "floor": 1.0,
+    "pow": 12.0,
+}
+
+_BINARY_OPS = ("+", "-", "*", "/", "%", "max", "min")
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    def flops(self) -> float:
+        """Scalar floating-point operations performed by one evaluation."""
+        raise NotImplementedError
+
+    def loads(self) -> List["BufferLoad"]:
+        """All buffer loads contained in this expression (with duplicates)."""
+        raise NotImplementedError
+
+    def free_vars(self) -> Set[str]:
+        """Names of loop variables referenced by this expression."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal over the expression tree."""
+        yield self
+        for child in self._children():
+            yield from child.walk()
+
+    def _children(self) -> Tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A loop (iteration) variable, referenced by name."""
+
+    name: str
+
+    def flops(self) -> float:
+        return 0.0
+
+    def loads(self) -> List["BufferLoad"]:
+        return []
+
+    def free_vars(self) -> Set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntImm(Expr):
+    """An integer immediate."""
+
+    value: int
+
+    def flops(self) -> float:
+        return 0.0
+
+    def loads(self) -> List["BufferLoad"]:
+        return []
+
+    def free_vars(self) -> Set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FloatImm(Expr):
+    """A floating-point immediate."""
+
+    value: float
+
+    def flops(self) -> float:
+        return 0.0
+
+    def loads(self) -> List["BufferLoad"]:
+        return []
+
+    def free_vars(self) -> Set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """A binary arithmetic operation (one FLOP per evaluation)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINARY_OPS:
+            raise TIRError(f"unsupported binary op {self.op!r}")
+
+    def flops(self) -> float:
+        return 1.0 + self.lhs.flops() + self.rhs.flops()
+
+    def loads(self) -> List["BufferLoad"]:
+        return self.lhs.loads() + self.rhs.loads()
+
+    def free_vars(self) -> Set[str]:
+        return self.lhs.free_vars() | self.rhs.free_vars()
+
+    def _children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """An intrinsic call such as ``exp(x)`` or ``max(x, 0)``."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.func not in INTRINSIC_FLOPS:
+            raise TIRError(f"unsupported intrinsic {self.func!r}")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def flops(self) -> float:
+        return INTRINSIC_FLOPS[self.func] + sum(arg.flops() for arg in self.args)
+
+    def loads(self) -> List["BufferLoad"]:
+        result: List[BufferLoad] = []
+        for arg in self.args:
+            result.extend(arg.loads())
+        return result
+
+    def free_vars(self) -> Set[str]:
+        names: Set[str] = set()
+        for arg in self.args:
+            names |= arg.free_vars()
+        return names
+
+    def _children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class BufferLoad(Expr):
+    """A read of one element from a buffer, indexed by loop variables."""
+
+    buffer: Buffer
+    indices: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indices", tuple(self.indices))
+
+    def flops(self) -> float:
+        return sum(index.flops() for index in self.indices)
+
+    def loads(self) -> List["BufferLoad"]:
+        result: List[BufferLoad] = [self]
+        for index in self.indices:
+            result.extend(index.loads())
+        return result
+
+    def free_vars(self) -> Set[str]:
+        names: Set[str] = set()
+        for index in self.indices:
+            names |= index.free_vars()
+        return names
+
+    def _children(self) -> Tuple[Expr, ...]:
+        return self.indices
+
+    def __repr__(self) -> str:
+        idx = ", ".join(repr(i) for i in self.indices)
+        return f"{self.buffer.name}[{idx}]"
+
+
+def make_const(value: float) -> Expr:
+    """Create an immediate of the appropriate type."""
+    if float(value).is_integer():
+        return IntImm(int(value))
+    return FloatImm(float(value))
+
+
+def add(lhs: Expr, rhs: Expr) -> Expr:
+    """Convenience constructor for ``lhs + rhs``."""
+    return BinaryOp("+", lhs, rhs)
+
+
+def mul(lhs: Expr, rhs: Expr) -> Expr:
+    """Convenience constructor for ``lhs * rhs``."""
+    return BinaryOp("*", lhs, rhs)

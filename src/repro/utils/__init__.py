@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic RNG handling, serialization and graph helpers."""
+
+from repro.utils.rng import new_rng, spawn_rng, stable_hash
+from repro.utils.serialization import load_json, save_json
+from repro.utils.topo import topological_order
+
+__all__ = [
+    "new_rng",
+    "spawn_rng",
+    "stable_hash",
+    "load_json",
+    "save_json",
+    "topological_order",
+]

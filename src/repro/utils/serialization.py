@@ -1,0 +1,41 @@
+"""Small JSON (de)serialization helpers with NumPy support."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+class NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands NumPy scalars and arrays."""
+
+    def default(self, o: Any) -> Any:  # noqa: D102 - documented by base class
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        return super().default(o)
+
+
+def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
+    """Serialize ``obj`` to ``path`` as JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(obj, fh, cls=NumpyJSONEncoder, indent=indent, sort_keys=True)
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a JSON document from ``path``."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)

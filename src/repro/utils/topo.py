@@ -1,0 +1,40 @@
+"""Topological ordering helpers used by the model graphs and the replayer."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence
+
+from repro.errors import ReplayError
+
+
+def topological_order(
+    nodes: Iterable[Hashable], edges: Mapping[Hashable, Sequence[Hashable]]
+) -> List[Hashable]:
+    """Return a topological order of ``nodes``.
+
+    ``edges`` maps each node to the nodes that depend on it (successors).
+    Raises :class:`ReplayError` when the graph contains a cycle, because both
+    DNN data-flow graphs and TIR DFGs must be acyclic.
+    """
+    node_list = list(nodes)
+    indegree: Dict[Hashable, int] = {node: 0 for node in node_list}
+    for src in node_list:
+        for dst in edges.get(src, ()):  # successors
+            if dst not in indegree:
+                raise ReplayError(f"edge target {dst!r} is not a node")
+            indegree[dst] += 1
+
+    queue = deque(node for node in node_list if indegree[node] == 0)
+    order: List[Hashable] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for succ in edges.get(node, ()):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+
+    if len(order) != len(node_list):
+        raise ReplayError("graph contains a cycle; cannot topologically sort")
+    return order

@@ -1,0 +1,168 @@
+"""Tests for the baseline cost models and the from-scratch tree ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_CAPABILITIES,
+    HabitatCostModel,
+    TiramisuCostModel,
+    TLPCostModel,
+    XGBoostCostModel,
+    flat_features,
+    make_baseline,
+)
+from repro.baselines.features import schedule_primitive_features
+from repro.baselines.trees import GradientBoostedTrees, RegressionTree
+from repro.errors import TrainingError
+
+
+class TestRegressionTrees:
+    def test_tree_fits_piecewise_constant(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(300, 2))
+        y = np.where(x[:, 0] > 0, 5.0, -5.0)
+        tree = RegressionTree(max_depth=2, min_samples_leaf=5).fit(x, y)
+        pred = tree.predict(x)
+        assert np.mean(np.abs(pred - y)) < 0.5
+
+    def test_tree_respects_max_depth_zero_equivalent(self):
+        x = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.arange(20, dtype=float)
+        tree = RegressionTree(max_depth=0).fit(x, y)
+        assert np.allclose(tree.predict(x), y.mean())
+
+    def test_gbt_fits_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-2, 2, size=(400, 3))
+        y = np.sin(x[:, 0]) + x[:, 1] ** 2
+        model = GradientBoostedTrees(n_estimators=50, learning_rate=0.2, max_depth=4, seed=0)
+        model.fit(x, y)
+        residual = np.mean((model.predict(x) - y) ** 2)
+        assert residual < 0.05
+
+    def test_gbt_predict_before_fit_raises(self):
+        with pytest.raises(TrainingError):
+            GradientBoostedTrees().predict(np.zeros((2, 2)))
+
+    def test_tree_invalid_data_raises(self):
+        with pytest.raises(TrainingError):
+            RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestBaselineFeatures:
+    def test_flat_features_shape_and_determinism(self, t4_splits):
+        records = t4_splits.train[:10]
+        features = flat_features(records)
+        assert features.shape[0] == 10
+        assert np.array_equal(features, flat_features(records))
+        assert np.all(np.isfinite(features))
+
+    def test_device_features_optional(self, t4_splits):
+        records = t4_splits.train[:5]
+        with_device = flat_features(records, include_device=True)
+        without_device = flat_features(records, include_device=False)
+        assert with_device.shape[1] > without_device.shape[1]
+
+    def test_schedule_primitive_features_shape(self, t4_splits):
+        vector = schedule_primitive_features(t4_splits.train[0])
+        assert vector.shape == (14,)
+        assert np.all(np.isfinite(vector))
+
+
+class TestXGBoostBaseline:
+    def test_fit_predict_and_accuracy(self, t4_splits):
+        model = XGBoostCostModel(n_estimators=30, max_depth=5, seed=0)
+        model.fit(t4_splits.train)
+        metrics = model.evaluate(t4_splits.test)
+        assert metrics["mape"] < 0.6
+        predictions = model.predict(t4_splits.test)
+        assert np.all(predictions > 0)
+        assert model.throughput_samples_per_s > 0
+
+    def test_predict_before_fit_raises(self, t4_splits):
+        with pytest.raises(TrainingError):
+            XGBoostCostModel().predict(t4_splits.test)
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(TrainingError):
+            XGBoostCostModel().fit([])
+
+
+class TestTiramisuBaseline:
+    def test_fit_predict_runs(self, t4_splits):
+        model = TiramisuCostModel(epochs=1, max_train_samples=40, seed=0)
+        model.fit(t4_splits.train)
+        predictions = model.predict(t4_splits.test[:10])
+        assert predictions.shape == (10,)
+        assert np.all(predictions > 0)
+
+    def test_throughput_counts_processed_samples(self, t4_splits):
+        model = TiramisuCostModel(epochs=2, max_train_samples=30, seed=0)
+        model.fit(t4_splits.train)
+        assert model._samples_processed == 60
+
+
+class TestTLPBaseline:
+    def test_relative_scores_rank_schedules_within_task(self, t4_splits):
+        model = TLPCostModel(epochs=40, seed=0)
+        model.fit(t4_splits.train)
+        # Pick a task with several measured schedules in the training set.
+        by_task = {}
+        for record in t4_splits.train:
+            by_task.setdefault(record.task_key, []).append(record)
+        task_records = max(by_task.values(), key=len)
+        scores = model.predict_relative(task_records)
+        latencies = np.asarray([r.latency_s for r in task_records])
+        # The correlation between scores and measured latency should be positive.
+        correlation = np.corrcoef(scores, latencies)[0, 1]
+        assert correlation > -0.5  # at minimum, not strongly anti-correlated
+
+    def test_absolute_error_is_large(self, t4_splits):
+        model = TLPCostModel(epochs=20, seed=0)
+        model.fit(t4_splits.train)
+        metrics = model.evaluate(t4_splits.test)
+        # TLP predicts relative time; its absolute-time error must be much
+        # larger than a dedicated absolute-time model's.
+        assert metrics["mape"] > 0.5
+
+
+class TestHabitatBaseline:
+    def test_requires_gpu_target(self):
+        with pytest.raises(TrainingError):
+            HabitatCostModel(target_device="epyc-7452")
+
+    def test_cross_gpu_scaling(self, tiny_dataset):
+        model = HabitatCostModel(target_device="t4", source_device="k80", seed=0)
+        model.fit(tiny_dataset.records("k80"))
+        target_records = tiny_dataset.records("t4")[:50]
+        metrics = model.evaluate(target_records)
+        assert metrics["mape"] < 5.0  # rough scaling, but in the right ballpark
+        assert np.all(model.predict(target_records) > 0)
+
+    def test_needs_gpu_sources(self, tiny_dataset):
+        model = HabitatCostModel(target_device="t4", seed=0)
+        with pytest.raises(TrainingError):
+            model.fit(tiny_dataset.records("epyc-7452"))
+
+
+class TestRegistry:
+    def test_capability_matrix_matches_table1(self):
+        assert BASELINE_CAPABILITIES["cdmpp"] == {
+            "absolute_time": True,
+            "model_level": True,
+            "op_level": True,
+            "cross_device": True,
+        }
+        assert not BASELINE_CAPABILITIES["autotvm_xgboost"]["absolute_time"]
+        assert not BASELINE_CAPABILITIES["habitat"]["cross_device"]
+        assert not BASELINE_CAPABILITIES["tlp"]["absolute_time"]
+        # CDMPP is the only row with every capability (the point of Table 1).
+        full_rows = [name for name, caps in BASELINE_CAPABILITIES.items() if all(caps.values())]
+        assert full_rows == ["cdmpp"]
+
+    def test_make_baseline(self):
+        assert isinstance(make_baseline("xgboost"), XGBoostCostModel)
+        assert isinstance(make_baseline("tlp"), TLPCostModel)
+        with pytest.raises(TrainingError):
+            make_baseline("nnlqp")

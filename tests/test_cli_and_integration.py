@@ -1,0 +1,99 @@
+"""CLI tests and cross-module integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.api import CDMPP
+from repro.core.finetune import FineTuner
+from repro.core.metrics import mape
+from repro.core.scale import get_scale
+from repro.dataset.splits import split_dataset
+from repro.features.pipeline import featurize_records
+from repro.replay.e2e import measure_end_to_end
+
+
+class TestCLI:
+    def test_parser_accepts_positional_arguments(self):
+        args = build_parser().parse_args(["bert_tiny", "1", "t4", "--scale", "tiny"])
+        assert args.network == "bert_tiny"
+        assert args.batch_size == 1
+        assert args.device == "t4"
+
+    def test_unknown_network_returns_error_code(self, capsys):
+        assert main(["alexnet", "1", "t4"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_device_returns_error_code(self):
+        assert main(["bert_tiny", "1", "tpu-v4"]) == 2
+
+    def test_full_query_runs_at_tiny_scale(self, capsys):
+        exit_code = main(["bert_tiny", "1", "t4", "--scale", "tiny", "--seed", "0"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "predicted latency" in output
+        assert "relative error" in output
+
+
+class TestEndToEndIntegration:
+    def test_pretrain_finetune_predict_pipeline(self, tiny_dataset):
+        """The full CDPP pipeline: pre-train on T4+K80, adapt to the CPU."""
+        scale = get_scale("tiny")
+        source_records = tiny_dataset.records("t4") + tiny_dataset.records("k80")
+        source_splits = split_dataset(source_records, seed=0)
+        target_splits = split_dataset(tiny_dataset.records("epyc-7452"), seed=0)
+
+        cdmpp = CDMPP(predictor_config=scale.predictor_config(),
+                      training_config=scale.training_config(epochs=6, seed=0))
+        cdmpp.pretrain(source_splits.train, source_splits.valid)
+
+        source_train = featurize_records(source_splits.train,
+                                         max_leaves=cdmpp.predictor_config.max_leaves)
+        target_test = featurize_records(target_splits.test,
+                                        max_leaves=cdmpp.predictor_config.max_leaves)
+        result = cdmpp.finetune_to_device(
+            source_train=source_train,
+            target_records=target_splits.train,
+            target_test=target_test,
+            num_tasks=4,
+            epochs=1,
+        )
+        assert result.metrics_after["mape"] < result.metrics_before["mape"] * 3
+        assert len(result.selected_tasks) >= 1
+
+    def test_e2e_prediction_tracks_ground_truth(self, trained_trainer):
+        """Whole-model prediction lands within a factor of the simulator truth."""
+        cdmpp = CDMPP.__new__(CDMPP)  # reuse the session-trained trainer
+        cdmpp.predictor_config = trained_trainer.predictor.config
+        cdmpp.training_config = trained_trainer.config
+        cdmpp.trainer = trained_trainer
+        cdmpp._max_leaves = trained_trainer.predictor.config.max_leaves
+
+        prediction = cdmpp.predict_model("bert_tiny", "t4", seed=0)
+        truth = measure_end_to_end("bert_tiny", "t4", seed=0)
+        ratio = prediction.predicted_latency_s / truth.iteration_time_s
+        assert 0.2 < ratio < 5.0
+
+    def test_latent_space_reacts_to_cmd_finetuning(self, trained_trainer, tiny_dataset, t4_features):
+        """Fine-tuning with the CMD term reduces the source/target latent CMD."""
+        train, _, _ = t4_features
+        target = featurize_records(tiny_dataset.records("epyc-7452")[:80],
+                                   max_leaves=train.max_leaves)
+        finetuner = FineTuner(trained_trainer)
+        before = finetuner.latent_cmd(train, target)
+        finetuner.finetune(train.subset(range(64)), target, epochs=2, alpha=2.0)
+        after = finetuner.latent_cmd(train, target)
+        assert after < before * 1.5  # must not blow the domains apart
+
+    def test_prediction_errors_correlate_with_latency_scale(self, trained_trainer, t4_features):
+        """Sanity: predictions track the order of magnitude of the labels."""
+        _, _, test = t4_features
+        predictions = trained_trainer.predict(test)
+        correlation = np.corrcoef(np.log(predictions), np.log(test.y))[0, 1]
+        assert correlation > 0.45
+
+    def test_cross_device_ranking_preserved_for_large_models(self, trained_trainer):
+        """A faster device should get a faster end-to-end prediction."""
+        truth_k80 = measure_end_to_end("vgg16", "k80", seed=0).iteration_time_s
+        truth_a100 = measure_end_to_end("vgg16", "a100", seed=0).iteration_time_s
+        assert truth_a100 < truth_k80

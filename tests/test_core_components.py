@@ -1,0 +1,239 @@
+"""Tests for core components: transforms, losses, CMD, metrics, KMeans, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.cmd import cmd_distance, cmd_distance_tensor
+from repro.core.config import PredictorConfig, TrainingConfig
+from repro.core.kmeans import KMeans
+from repro.core.losses import hybrid_loss
+from repro.core.metrics import error_report, mape, mspe, rmse, threshold_accuracy
+from repro.core.sampling import select_tasks_kmeans, select_tasks_random
+from repro.core.transforms import (
+    BoxCoxTransform,
+    IdentityTransform,
+    QuantileTransform,
+    YeoJohnsonTransform,
+    make_transform,
+)
+from repro.errors import ConfigError, TrainingError
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def skewed_latencies():
+    rng = np.random.default_rng(0)
+    return np.exp(rng.normal(-9.5, 1.5, size=600))  # log-normal, seconds
+
+
+class TestConfigs:
+    def test_predictor_config_validation(self):
+        with pytest.raises(ConfigError):
+            PredictorConfig(d_model=30, num_heads=4)
+        with pytest.raises(ConfigError):
+            PredictorConfig(max_leaves=0)
+
+    def test_training_config_validation(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ConfigError):
+            TrainingConfig(optimizer="lamb")
+        with pytest.raises(ConfigError):
+            TrainingConfig(label_transform="zscore")
+
+
+class TestTransforms:
+    @pytest.mark.parametrize("name", ["box-cox", "yeo-johnson", "quantile", "none", "log"])
+    def test_roundtrip_inverse(self, name, skewed_latencies):
+        transform = make_transform(name)
+        z = transform.fit_transform(skewed_latencies)
+        back = transform.inverse_transform(z)
+        np.testing.assert_allclose(back, skewed_latencies, rtol=1e-3)
+
+    def test_transformed_labels_standardised(self, skewed_latencies):
+        z = BoxCoxTransform().fit_transform(skewed_latencies)
+        assert abs(z.mean()) < 1e-8
+        assert z.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_box_cox_reduces_skew(self, skewed_latencies):
+        from scipy.stats import skew
+
+        z = BoxCoxTransform().fit_transform(skewed_latencies)
+        assert abs(skew(z)) < abs(skew(skewed_latencies)) / 5
+
+    def test_box_cox_requires_positive(self):
+        with pytest.raises(TrainingError):
+            BoxCoxTransform().fit(np.array([-1.0, 2.0]))
+
+    def test_yeo_johnson_handles_negative(self):
+        values = np.array([-2.0, -0.5, 0.0, 1.0, 3.0])
+        transform = YeoJohnsonTransform().fit(values)
+        np.testing.assert_allclose(transform.inverse_transform(transform.transform(values)), values, atol=1e-6)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(TrainingError):
+            IdentityTransform().transform(np.array([1.0]))
+
+    def test_unknown_transform(self):
+        with pytest.raises(TrainingError):
+            make_transform("rank")
+
+    def test_quantile_maps_to_normalish(self, skewed_latencies):
+        z = QuantileTransform().fit_transform(skewed_latencies)
+        assert abs(np.median(z)) < 0.2
+
+
+class TestHybridLoss:
+    def test_reduces_to_mse_when_lambda_zero(self):
+        pred, target = Tensor([1.0, 2.0]), Tensor([0.0, 4.0])
+        assert hybrid_loss(pred, target, lambda_mape=0.0).item() == pytest.approx(2.5)
+
+    def test_lambda_adds_relative_term(self):
+        pred, target = Tensor([1.0, 2.0]), Tensor([0.5, 4.0])
+        base = hybrid_loss(pred, target, lambda_mape=0.0).item()
+        combined = hybrid_loss(pred, target, lambda_mape=1.0).item()
+        assert combined > base
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(TrainingError):
+            hybrid_loss(Tensor([1.0]), Tensor([1.0]), lambda_mape=-1.0)
+
+    def test_gradients_flow(self):
+        pred = Tensor([1.0, 2.0], requires_grad=True)
+        hybrid_loss(pred, Tensor([0.5, 3.0])).backward()
+        assert pred.grad is not None
+
+
+class TestCMD:
+    def test_identical_distributions_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(400, 8))
+        assert cmd_distance(x, x.copy()) < 1e-12
+
+    def test_shifted_distributions_have_larger_cmd(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 8))
+        near = rng.normal(0.1, 1.0, size=(300, 8))
+        far = rng.normal(2.0, 2.0, size=(300, 8))
+        assert cmd_distance(x, far) > cmd_distance(x, near)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(TrainingError):
+            cmd_distance(np.zeros((4, 3)), np.zeros((4, 5)))
+
+    def test_tensor_version_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=(50, 6)), rng.normal(1.0, 1.5, size=(40, 6))
+        numpy_value = cmd_distance(a, b)
+        tensor_value = cmd_distance_tensor(Tensor(a), Tensor(b)).item()
+        assert tensor_value == pytest.approx(numpy_value, rel=1e-6)
+
+    def test_tensor_version_differentiable(self):
+        rng = np.random.default_rng(2)
+        a = Tensor(rng.normal(size=(30, 4)), requires_grad=True)
+        b = Tensor(rng.normal(1.0, 1.0, size=(30, 4)))
+        cmd_distance_tensor(a, b).backward()
+        assert a.grad is not None and np.any(a.grad != 0)
+
+
+class TestMetrics:
+    def test_mape_and_rmse_values(self):
+        pred, target = np.array([1.1, 2.0]), np.array([1.0, 4.0])
+        assert mape(pred, target) == pytest.approx((0.1 + 0.5) / 2)
+        assert rmse(pred, target) == pytest.approx(np.sqrt((0.01 + 4.0) / 2))
+        assert mspe(pred, target) == pytest.approx((0.01 + 0.25) / 2)
+
+    def test_threshold_accuracy(self):
+        pred, target = np.array([1.0, 1.5, 3.0]), np.array([1.0, 1.0, 1.0])
+        assert threshold_accuracy(pred, target, 0.1) == pytest.approx(1 / 3)
+
+    def test_error_report_keys(self):
+        report = error_report(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        assert {"mape", "rmse", "mspe", "5%accuracy", "10%accuracy", "20%accuracy"} <= set(report)
+
+    def test_empty_or_mismatched_raises(self):
+        with pytest.raises(TrainingError):
+            mape(np.array([]), np.array([]))
+        with pytest.raises(TrainingError):
+            rmse(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestKMeans:
+    def test_separable_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.2, size=(50, 2))
+        b = rng.normal(5.0, 0.2, size=(50, 2))
+        result = KMeans(2, seed=0).fit(np.vstack([a, b]))
+        labels_a, labels_b = set(result.labels[:50]), set(result.labels[50:])
+        assert labels_a.isdisjoint(labels_b)
+
+    def test_clamps_k_to_sample_count(self):
+        kmeans = KMeans(10, seed=0)
+        result = kmeans.fit(np.array([[0.0], [1.0], [2.0]]))
+        assert kmeans.num_clusters == 3
+        assert result.centers.shape == (3, 1)
+
+    def test_predict_assigns_nearest_center(self):
+        kmeans = KMeans(2, seed=0)
+        kmeans.fit(np.array([[0.0], [0.1], [5.0], [5.1]]))
+        labels = kmeans.predict(np.array([[0.05], [5.05]]))
+        assert labels[0] != labels[1]
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(60, 3))
+        first = KMeans(4, seed=7).fit(x)
+        second = KMeans(4, seed=7).fit(x)
+        assert np.array_equal(first.labels, second.labels)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(TrainingError):
+            KMeans(0)
+        with pytest.raises(TrainingError):
+            KMeans(2).fit(np.zeros((0, 3)))
+        with pytest.raises(TrainingError):
+            KMeans(2).predict(np.zeros((2, 2)))
+
+
+class TestTaskSampling:
+    def _features_by_task(self, num_tasks=12, seed=0):
+        rng = np.random.default_rng(seed)
+        features = {}
+        for index in range(num_tasks):
+            center = rng.normal(scale=3.0, size=4)
+            features[f"task{index}"] = center + rng.normal(scale=0.1, size=(5, 4))
+        return features
+
+    def test_kmeans_selection_size_and_uniqueness(self):
+        features = self._features_by_task()
+        selected = select_tasks_kmeans(features, 5, seed=0)
+        assert len(selected) == 5
+        assert len(set(selected)) == 5
+        assert set(selected) <= set(features)
+
+    def test_kmeans_selection_covers_clusters_better_than_random_worst_case(self):
+        # With well-separated clusters, the KMeans selection must pick tasks
+        # from distinct clusters.
+        rng = np.random.default_rng(1)
+        features = {}
+        for cluster in range(4):
+            for index in range(3):
+                features[f"c{cluster}_t{index}"] = rng.normal(cluster * 10.0, 0.1, size=(4, 3))
+        selected = select_tasks_kmeans(features, 4, seed=0)
+        clusters_covered = {name.split("_")[0] for name in selected}
+        assert len(clusters_covered) == 4
+
+    def test_kmeans_selection_requests_more_than_available(self):
+        features = self._features_by_task(num_tasks=3)
+        assert len(select_tasks_kmeans(features, 10, seed=0)) == 3
+
+    def test_random_selection(self):
+        keys = [f"task{i}" for i in range(20)]
+        selected = select_tasks_random(keys, 6, seed=1)
+        assert len(selected) == 6 and len(set(selected)) == 6
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(TrainingError):
+            select_tasks_kmeans({}, 3)
+        with pytest.raises(TrainingError):
+            select_tasks_random([], 3)

@@ -1,0 +1,145 @@
+"""Tests for device specs, the latency simulator and the profiler."""
+
+import numpy as np
+import pytest
+
+from repro.devices.simulator import DeviceSimulator, simulate_latency
+from repro.devices.spec import DEVICE_REGISTRY, DeviceSpec, all_device_names, get_device, list_devices
+from repro.errors import DatasetError, DeviceError
+from repro.ops import conv2d, dense, embedding_lookup
+from repro.profiler.profiler import Profiler
+from repro.profiler.records import MeasureRecord
+from repro.tir.lower import lower
+from repro.tir.schedule import Schedule, random_schedule
+
+
+class TestDeviceSpec:
+    def test_registry_contains_table2_devices(self):
+        for name in ("t4", "k80", "p100", "v100", "a100", "hl100", "e5-2673", "epyc-7452", "graviton2"):
+            assert name in DEVICE_REGISTRY
+
+    def test_aliases_resolve(self):
+        assert get_device("EPYC").name == "epyc-7452"
+        assert get_device("HL-100").name == "hl100"
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(DeviceError):
+            get_device("tpu-v4")
+
+    def test_taxonomy_filter(self):
+        assert all(d.taxonomy == "gpu" for d in list_devices("gpu"))
+        assert len(list_devices("cpu")) == 3
+        with pytest.raises(DeviceError):
+            list_devices("asic")
+
+    def test_feature_vector_shape_and_determinism(self):
+        spec = get_device("v100")
+        vec = spec.feature_vector()
+        assert vec.shape == (DeviceSpec.feature_dim(),)
+        assert np.array_equal(vec, spec.feature_vector())
+
+    def test_feature_vectors_differ_across_devices(self):
+        assert not np.array_equal(get_device("t4").feature_vector(), get_device("a100").feature_vector())
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec("bad", "gpu", clock_mhz=0, memory_gb=1, memory_bandwidth_gbps=1,
+                       cores=1, peak_fp32_tflops=1)
+
+    def test_ridge_point_positive(self):
+        for device in list_devices():
+            assert device.ridge_intensity > 0
+
+    def test_all_device_names_matches_registry(self):
+        assert set(all_device_names()) == set(DEVICE_REGISTRY)
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def programs(self):
+        rng = np.random.default_rng(0)
+        small = dense(4, 64, 64, model="sim")
+        large = dense(4, 1024, 1024, model="sim")
+        return (
+            lower(small, random_schedule(small, rng, "gpu")),
+            lower(large, random_schedule(large, rng, "gpu")),
+        )
+
+    def test_latency_positive_and_deterministic(self, programs):
+        simulator = DeviceSimulator(get_device("t4"), seed=0)
+        first = simulator.measure(programs[0])
+        second = DeviceSimulator(get_device("t4"), seed=0).measure(programs[0])
+        assert first > 0
+        assert first == pytest.approx(second)
+
+    def test_more_work_takes_longer(self, programs):
+        simulator = DeviceSimulator(get_device("t4"), seed=0)
+        assert simulator.measure(programs[1]) > simulator.measure(programs[0])
+
+    def test_fast_gpu_beats_slow_gpu_on_large_kernels(self, programs):
+        large = programs[1]
+        assert simulate_latency(large, get_device("a100")) < simulate_latency(large, get_device("k80"))
+
+    def test_gpu_beats_cpu_on_large_parallel_kernels(self):
+        task = conv2d(1, 64, 64, 28, 28, model="sim")
+        rng = np.random.default_rng(1)
+        program = lower(task, random_schedule(task, rng, "gpu"))
+        assert simulate_latency(program, get_device("v100")) < simulate_latency(
+            program, get_device("graviton2")
+        )
+
+    def test_gather_heavy_op_penalised_on_accelerator(self):
+        task = embedding_lookup(256, 30000, 256, model="sim")
+        program = lower(task)
+        accel = simulate_latency(program, get_device("hl100"))
+        gpu = simulate_latency(program, get_device("a100"))
+        assert accel > gpu
+
+    def test_parallel_annotation_reduces_latency(self):
+        task = conv2d(1, 32, 32, 28, 28, model="sim")
+        serial = lower(task)
+        parallel = lower(task, Schedule().split("oc", [8]).annotate("oc.0", "parallel")
+                         .annotate("ow", "vectorize"))
+        device = get_device("t4")
+        assert simulate_latency(parallel, device) < simulate_latency(serial, device)
+
+    def test_breakdown_fields_consistent(self, programs):
+        breakdown = DeviceSimulator(get_device("t4"), seed=0).breakdown(programs[0])
+        assert breakdown.latency_s > 0
+        assert breakdown.bound in ("compute", "memory")
+        assert 0 < breakdown.compute_utilization <= 1
+        assert breakdown.noise_factor > 0
+
+    def test_different_seeds_give_different_noise(self, programs):
+        a = DeviceSimulator(get_device("t4"), seed=1).measure(programs[0])
+        b = DeviceSimulator(get_device("t4"), seed=2).measure(programs[0])
+        assert a != b
+        # ... but only within the noise envelope.
+        assert abs(a - b) / a < 0.5
+
+
+class TestProfiler:
+    def test_measure_record_fields(self, dense_program):
+        record = Profiler("t4", seed=0).measure(dense_program)
+        assert record.device == "t4"
+        assert record.latency_s > 0
+        assert record.latency_ms == pytest.approx(record.latency_s * 1e3)
+        assert record.op_type == "dense"
+        assert record.model == "fixture"
+        assert "latency_us" in record.summary()
+
+    def test_profile_task_produces_requested_schedules(self, dense_task):
+        records = Profiler("t4", seed=0).profile_task(dense_task, num_schedules=5)
+        assert len(records) == 5
+        assert len({r.schedule_index for r in records}) == 5
+        # Different schedules should give different latencies most of the time.
+        assert len({round(r.latency_s, 12) for r in records}) > 1
+
+    def test_profile_tasks_deterministic(self, dense_task, conv_task):
+        first = Profiler("t4", seed=3).profile_tasks([dense_task, conv_task], num_schedules=3)
+        second = Profiler("t4", seed=3).profile_tasks([dense_task, conv_task], num_schedules=3)
+        assert [r.latency_s for r in first] == [r.latency_s for r in second]
+
+    def test_invalid_record_latency_rejected(self, dense_program):
+        with pytest.raises(DatasetError):
+            MeasureRecord(program=dense_program, device="t4", latency_s=0.0)

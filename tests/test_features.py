@@ -1,0 +1,142 @@
+"""Tests for Compact-AST extraction, positional encoding and featurization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.compact_ast import COMPUTATION_VECTOR_LENGTH, extract_compact_ast
+from repro.features.device_features import DEVICE_FEATURE_DIM, device_feature_vector
+from repro.features.pipeline import FeatureSet, featurize_programs, featurize_records
+from repro.features.positional import add_positional_encoding, positional_encoding
+from repro.ops import conv2d, dense, embedding_lookup
+from repro.tir.lower import lower
+from repro.tir.schedule import Schedule, random_schedule
+
+
+class TestCompactAST:
+    def test_shapes_and_leaf_count(self, dense_program):
+        compact = extract_compact_ast(dense_program)
+        assert compact.computation_vectors.shape == (dense_program.num_leaves, COMPUTATION_VECTOR_LENGTH)
+        assert compact.ordering_vector.shape == (dense_program.num_leaves,)
+        assert compact.num_leaves == dense_program.num_leaves
+        assert compact.num_ast_nodes >= compact.num_leaves
+
+    def test_ordering_vector_is_increasing(self, dense_program):
+        compact = extract_compact_ast(dense_program)
+        assert np.all(np.diff(compact.ordering_vector) > 0)
+
+    def test_vectors_are_finite(self, dense_program):
+        compact = extract_compact_ast(dense_program)
+        assert np.all(np.isfinite(compact.computation_vectors))
+
+    def test_schedule_changes_features(self, dense_task):
+        plain = extract_compact_ast(lower(dense_task))
+        annotated = extract_compact_ast(
+            lower(dense_task, Schedule().annotate("b", "parallel").annotate("o", "vectorize"))
+        )
+        assert not np.allclose(plain.computation_vectors, annotated.computation_vectors)
+
+    def test_gather_pattern_feature_set_for_embedding(self):
+        program = lower(embedding_lookup(16, 1000, 32, model="m"))
+        compact = extract_compact_ast(program)
+        # The last block of features encodes access-pattern counts; at least
+        # one leaf must report a gather read.
+        gather_column = compact.computation_vectors[:, -2]
+        assert gather_column.max() >= 1.0
+
+    def test_compact_ast_validation(self):
+        with pytest.raises(FeatureError):
+            from repro.features.compact_ast import CompactAST
+
+            CompactAST(np.zeros((2, 3)), np.zeros(2), 5)
+
+
+class TestPositionalEncoding:
+    def test_shape_and_range(self):
+        encoding = positional_encoding(np.arange(5), dim=COMPUTATION_VECTOR_LENGTH)
+        assert encoding.shape == (5, COMPUTATION_VECTOR_LENGTH)
+        assert np.all(np.abs(encoding) <= 1.0 + 1e-12)
+
+    def test_distinct_positions_get_distinct_encodings(self):
+        encoding = positional_encoding(np.array([1, 2, 7, 13]), dim=16)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.allclose(encoding[i], encoding[j])
+
+    def test_same_position_same_encoding(self):
+        encoding = positional_encoding(np.array([3, 3]), dim=16)
+        assert np.allclose(encoding[0], encoding[1])
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(FeatureError):
+            positional_encoding(np.arange(3), dim=0)
+
+    def test_add_positional_encoding_changes_vectors(self, dense_program):
+        compact = extract_compact_ast(dense_program)
+        with_pe = add_positional_encoding(compact.computation_vectors, compact.ordering_vector)
+        assert with_pe.shape == compact.computation_vectors.shape
+        assert not np.allclose(with_pe, compact.computation_vectors)
+
+
+class TestDeviceFeatures:
+    def test_shape_matches_constant(self):
+        assert device_feature_vector("t4").shape == (DEVICE_FEATURE_DIM,)
+
+    def test_accepts_spec_or_name(self):
+        from repro.devices.spec import get_device
+
+        assert np.array_equal(device_feature_vector("a100"), device_feature_vector(get_device("a100")))
+
+
+class TestFeaturizePipeline:
+    def test_featurize_records_shapes(self, t4_splits):
+        features = featurize_records(t4_splits.train[:20])
+        assert len(features) == 20
+        assert features.x.shape == (20, features.max_leaves, COMPUTATION_VECTOR_LENGTH)
+        assert features.mask.shape == (20, features.max_leaves)
+        assert features.device_features.shape == (20, DEVICE_FEATURE_DIM)
+        assert np.all(features.y > 0)
+        assert np.all(features.mask.sum(axis=1) == features.leaf_counts)
+
+    def test_padding_is_zero(self, t4_splits):
+        features = featurize_records(t4_splits.train[:20])
+        padded = features.x * (1.0 - features.mask[:, :, None])
+        assert np.allclose(padded, 0.0)
+
+    def test_max_leaves_override_and_error(self, t4_splits):
+        features = featurize_records(t4_splits.train[:5], max_leaves=32)
+        assert features.max_leaves == 32
+        with pytest.raises(FeatureError):
+            featurize_records(t4_splits.train[:5], max_leaves=1)
+
+    def test_positional_encoding_toggle_changes_x(self, t4_splits):
+        with_pe = featurize_records(t4_splits.train[:10], use_positional_encoding=True)
+        without_pe = featurize_records(t4_splits.train[:10], use_positional_encoding=False)
+        assert not np.allclose(with_pe.x, without_pe.x)
+
+    def test_featurize_programs_without_labels(self, dense_program):
+        features = featurize_programs([dense_program], "v100")
+        assert len(features) == 1
+        assert features.y[0] == 0.0
+        assert features.devices == ["v100"]
+
+    def test_subset_and_groupers(self, t4_splits):
+        features = featurize_records(t4_splits.train[:30])
+        subset = features.subset([0, 2, 4])
+        assert len(subset) == 3
+        assert subset.task_keys[1] == features.task_keys[2]
+        by_task = features.by_task()
+        assert sum(len(v) for v in by_task.values()) == len(features)
+        by_model = features.by_model()
+        assert sum(len(v) for v in by_model.values()) == len(features)
+
+    def test_concatenate_repads(self, t4_splits):
+        a = featurize_records(t4_splits.train[:10], max_leaves=6)
+        b = featurize_records(t4_splits.train[10:20], max_leaves=9)
+        merged = FeatureSet.concatenate([a, b])
+        assert len(merged) == 20
+        assert merged.max_leaves == 9
+
+    def test_empty_input_raises(self):
+        with pytest.raises(FeatureError):
+            featurize_records([])

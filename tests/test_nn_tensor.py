@@ -1,0 +1,131 @@
+"""Tests for the autodiff engine, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.tensor import Tensor, concatenate, no_grad, stack
+
+
+def numerical_gradient(fn, arrays, index, eps=1e-6):
+    """Central-difference gradient of ``fn`` w.r.t. ``arrays[index]``."""
+    base = arrays[index]
+    grad = np.zeros_like(base)
+    iterator = np.nditer(base, flags=["multi_index"])
+    for _ in iterator:
+        idx = iterator.multi_index
+        plus = [a.copy() for a in arrays]
+        minus = [a.copy() for a in arrays]
+        plus[index][idx] += eps
+        minus[index][idx] -= eps
+        grad[idx] = (fn(*plus) - fn(*minus)) / (2 * eps)
+    return grad
+
+
+def check_gradients(fn, shapes, seed=0, tol=1e-5):
+    """Compare autodiff gradients with numerical gradients."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(size=shape) for shape in shapes]
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    out.backward()
+
+    def scalar_fn(*raw):
+        return float(fn(*[Tensor(r) for r in raw]).data.sum())
+
+    for index, tensor in enumerate(tensors):
+        numeric = numerical_gradient(scalar_fn, arrays, index)
+        assert tensor.grad is not None
+        np.testing.assert_allclose(tensor.grad, numeric, atol=tol, rtol=1e-4)
+
+
+class TestGradientChecks:
+    def test_add_mul_broadcasting(self):
+        check_gradients(lambda a, b: ((a + b) * a).sum(), [(3, 4), (4,)])
+
+    def test_matmul_2d(self):
+        check_gradients(lambda a, b: (a @ b).sum(), [(3, 4), (4, 5)])
+
+    def test_batched_matmul_with_broadcast_rhs(self):
+        check_gradients(lambda a, b: (a @ b).sum(), [(2, 3, 4), (4, 5)])
+
+    def test_division_and_power(self):
+        check_gradients(lambda a, b: ((a / (b * b + 1.0)) ** 2.0).sum(), [(4, 3), (4, 3)])
+
+    def test_activations(self):
+        check_gradients(lambda x: (x.tanh() + x.sigmoid() + x.relu() + x.gelu()).sum(), [(5, 4)])
+
+    def test_exp_log_sqrt_abs(self):
+        check_gradients(lambda x: ((x * x + 1.0).log() + x.abs() + (x * x).sqrt()).sum(), [(6,)])
+
+    def test_softmax_and_max(self):
+        check_gradients(lambda x: (x.softmax(axis=-1) * x.max(axis=1, keepdims=True)).sum(), [(4, 5)])
+
+    def test_mean_sum_axes(self):
+        check_gradients(lambda x: x.mean(axis=0).sum() + x.sum(axis=1).mean(), [(3, 6)])
+
+    def test_reshape_transpose_getitem(self):
+        check_gradients(
+            lambda x: x.reshape(6, 2).transpose(1, 0)[0].sum() + x[1, :, 1].sum(), [(3, 2, 2)]
+        )
+
+    def test_concatenate_and_stack(self):
+        check_gradients(
+            lambda a, b: (concatenate([a, b], axis=1) * 2.0).sum() + stack([a, b], axis=0).mean(),
+            [(3, 2), (3, 2)],
+        )
+
+    def test_clip(self):
+        check_gradients(lambda x: x.clip(-0.5, 0.5).sum(), [(4, 4)])
+
+
+class TestTensorBehaviour:
+    def test_item_requires_scalar(self):
+        assert Tensor([[3.0]]).item() == 3.0
+        with pytest.raises(ModelError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(ModelError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_scalar_without_grad_argument(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ModelError):
+            (t * 2).backward()
+
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3 + x * 4
+        y.backward()
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x.detach() * 5).sum()
+        assert not y.requires_grad
+
+    def test_no_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        z = x * 2
+        assert z.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_shape_properties(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.shape == (2, 3) and t.ndim == 2 and t.size == 6
+
+    def test_right_hand_operators(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (3.0 - x) + (1.0 / x) + 2.0 * x
+        y.sum().backward()
+        assert x.grad is not None

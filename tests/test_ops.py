@@ -1,0 +1,170 @@
+"""Tests for the operator library (repro.ops)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TIRError
+from repro.ops import (
+    OP_BUILDERS,
+    attention_context,
+    attention_scores,
+    batch_matmul,
+    batch_norm_inference,
+    build_op,
+    conv2d,
+    dense,
+    depthwise_conv2d,
+    elementwise_binary,
+    elementwise_unary,
+    embedding_lookup,
+    global_avg_pool2d,
+    layer_norm,
+    lstm_cell,
+    pool2d,
+    reduce_op,
+    softmax,
+)
+from repro.ops.common import conv_out_dim
+from repro.tir.lower import lower
+from repro.tir.schedule import random_schedule
+
+# Representative keyword arguments for every registered operator builder.
+SAMPLE_KWARGS = {
+    "conv2d": dict(batch=1, in_channels=8, out_channels=16, height=14, width=14),
+    "depthwise_conv2d": dict(batch=1, channels=8, height=14, width=14),
+    "dense": dict(batch=4, in_features=64, out_features=32),
+    "batch_matmul": dict(batch=2, rows=16, cols=16, inner=32),
+    "elementwise_unary": dict(shape=(4, 64), kind="gelu"),
+    "elementwise_binary": dict(shape=(4, 64), kind="add"),
+    "pool2d": dict(batch=1, channels=8, height=16, width=16),
+    "global_avg_pool2d": dict(batch=1, channels=32, height=7, width=7),
+    "batch_norm_inference": dict(batch=1, channels=8, height=14, width=14),
+    "layer_norm": dict(rows=16, features=64),
+    "softmax": dict(rows=32, features=64),
+    "attention_scores": dict(batch_heads=4, seq_len=32, head_dim=16),
+    "attention_context": dict(batch_heads=4, seq_len=32, head_dim=16),
+    "lstm_cell": dict(batch=4, input_size=32, hidden_size=32),
+    "reduce_op": dict(shape=(8, 64), axis=1, kind="sum"),
+    "embedding_lookup": dict(num_tokens=32, vocab_size=1000, embed_dim=64),
+}
+
+
+class TestRegistry:
+    def test_sample_kwargs_cover_all_builders(self):
+        assert set(SAMPLE_KWARGS) == set(OP_BUILDERS)
+
+    def test_build_op_unknown_raises(self):
+        with pytest.raises(TIRError):
+            build_op("transpose")
+
+    @pytest.mark.parametrize("name", sorted(OP_BUILDERS))
+    def test_every_builder_produces_valid_lowerable_task(self, name):
+        task = build_op(name, **SAMPLE_KWARGS[name], model="unit")
+        assert task.model == "unit"
+        assert task.spatial_extent >= 1
+        assert task.naive_flops() > 0
+        program = lower(task, random_schedule(task, np.random.default_rng(0), "gpu"))
+        assert program.num_leaves >= 1
+        assert program.stats.total_flops > 0
+        assert program.stats.total_bytes > 0
+
+
+class TestConvGeometry:
+    def test_conv_out_dim(self):
+        assert conv_out_dim(14, 3, 1, 1) == 14
+        assert conv_out_dim(14, 3, 2, 1) == 7
+        assert conv_out_dim(7, 1, 1, 0) == 7
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(TIRError):
+            conv_out_dim(2, 7, 1, 0)
+
+    def test_conv_flops_scale_with_channels(self):
+        small = conv2d(1, 8, 8, 14, 14).naive_flops()
+        large = conv2d(1, 16, 16, 14, 14).naive_flops()
+        assert large > 3 * small
+
+    def test_stride_reduces_output_work(self):
+        dense_stride = conv2d(1, 8, 8, 16, 16, stride=1).naive_flops()
+        sparse_stride = conv2d(1, 8, 8, 16, 16, stride=2).naive_flops()
+        assert sparse_stride < dense_stride
+
+    def test_depthwise_much_cheaper_than_full_conv(self):
+        full = conv2d(1, 32, 32, 14, 14).naive_flops()
+        depthwise = depthwise_conv2d(1, 32, 14, 14).naive_flops()
+        assert depthwise < full / 4
+
+
+class TestFusionEpilogues:
+    def test_conv_fused_epilogues_add_leaves(self):
+        fused = conv2d(1, 8, 8, 8, 8, bias=True, activation="relu", residual=True)
+        bare = conv2d(1, 8, 8, 8, 8, bias=False, activation=None)
+        assert len(fused.epilogues) == 3
+        assert len(bare.epilogues) == 0
+
+    def test_dense_activation_changes_workload_key(self):
+        assert dense(4, 32, 32, activation="relu").workload_key != dense(4, 32, 32).workload_key
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(TIRError):
+            dense(4, 32, 32, activation="swish")
+
+
+class TestSpecificOps:
+    def test_matmul_flops_formula(self):
+        task = batch_matmul(2, 8, 8, 8)
+        # 2 * b*m*n*k multiply-adds (1 mul + 1 accumulate per point).
+        assert task.naive_flops() == pytest.approx(2 * 2 * 8 * 8 * 8, rel=0.01)
+
+    def test_softmax_uses_exp_intrinsic(self):
+        task = softmax(8, 16)
+        assert "exp" in task.body.intrinsics
+
+    def test_embedding_uses_gather_pattern(self):
+        task = embedding_lookup(16, 100, 32)
+        patterns = {read.pattern for read in task.body.reads}
+        assert "gather" in patterns
+
+    def test_pooling_kinds(self):
+        assert pool2d(1, 4, 8, 8, kind="max").body.intrinsics == ("max",)
+        assert pool2d(1, 4, 8, 8, kind="avg").body.intrinsics == ()
+        with pytest.raises(TIRError):
+            pool2d(1, 4, 8, 8, kind="median")
+
+    def test_reduce_axis_handling(self):
+        task = reduce_op((4, 8, 16), axis=1)
+        assert task.reduce_extent == 8
+        assert task.spatial_extent == 4 * 16
+
+    def test_reduce_invalid_kind(self):
+        with pytest.raises(TIRError):
+            reduce_op((4, 4), kind="median")
+
+    def test_elementwise_invalid_kinds(self):
+        with pytest.raises(TIRError):
+            elementwise_unary((4,), kind="swish")
+        with pytest.raises(TIRError):
+            elementwise_binary((4,), kind="xor")
+
+    def test_lstm_cell_has_gate_epilogues(self):
+        task = lstm_cell(4, 32, 32)
+        names = [spec.name for spec in task.epilogues]
+        assert any("gate" in name for name in names)
+        assert task.reduce_extent == 64
+
+    def test_layer_norm_and_batch_norm_leaf_counts(self):
+        layer_norm_leaves = lower(layer_norm(8, 32)).num_leaves
+        batch_norm_leaves = lower(batch_norm_inference(1, 8, 8, 8)).num_leaves
+        assert layer_norm_leaves == 3
+        assert batch_norm_leaves == 2
+
+    def test_attention_shapes_consistent(self):
+        scores = attention_scores(4, 32, 16)
+        context = attention_context(4, 32, 16)
+        assert scores.body.output.shape == (4, 32, 32)
+        assert context.body.output.shape == (4, 32, 16)
+
+    def test_global_avg_pool_reduces_spatial_dims(self):
+        task = global_avg_pool2d(2, 16, 7, 7)
+        assert task.reduce_extent == 49
+        assert task.output_buffer.shape == (2, 16)

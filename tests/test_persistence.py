@@ -1,0 +1,47 @@
+"""Tests for saving and loading trained predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.persistence import load_trainer, save_trainer
+from repro.core.trainer import Trainer
+from repro.errors import TrainingError
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_predictions(self, trained_trainer, t4_features, tmp_path):
+        _, _, test = t4_features
+        path = save_trainer(trained_trainer, tmp_path / "models" / "cdmpp_t4.npz")
+        assert path.exists()
+
+        restored = load_trainer(path)
+        original = trained_trainer.predict(test)
+        reloaded = restored.predict(test)
+        np.testing.assert_allclose(reloaded, original, rtol=1e-10)
+
+    def test_roundtrip_preserves_metrics_and_config(self, trained_trainer, t4_features, tmp_path):
+        _, _, test = t4_features
+        path = save_trainer(trained_trainer, tmp_path / "model.npz")
+        restored = load_trainer(path)
+        assert restored.predictor.config == trained_trainer.predictor.config
+        assert restored.config == trained_trainer.config
+        assert restored.transform.name == trained_trainer.transform.name
+        original_metrics = trained_trainer.evaluate(test)
+        restored_metrics = restored.evaluate(test)
+        assert restored_metrics["mape"] == pytest.approx(original_metrics["mape"], rel=1e-9)
+
+    def test_latent_representations_preserved(self, trained_trainer, t4_features, tmp_path):
+        _, _, test = t4_features
+        restored = load_trainer(save_trainer(trained_trainer, tmp_path / "model.npz"))
+        np.testing.assert_allclose(
+            restored.latent(test), trained_trainer.latent(test), rtol=1e-10
+        )
+
+    def test_cannot_save_unfitted_trainer(self, tmp_path):
+        with pytest.raises(TrainingError):
+            save_trainer(Trainer(config=TrainingConfig(epochs=1)), tmp_path / "model.npz")
+
+    def test_loading_missing_file_raises(self, tmp_path):
+        with pytest.raises(TrainingError):
+            load_trainer(tmp_path / "does_not_exist.npz")

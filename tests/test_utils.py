@@ -1,0 +1,94 @@
+"""Tests for repro.utils: deterministic RNG, serialization and topo sort."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReplayError
+from repro.utils.rng import choice_without_replacement, new_rng, spawn_rng, stable_hash
+from repro.utils.serialization import load_json, save_json
+from repro.utils.topo import topological_order
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("abc", 1) == stable_hash("abc", 1)
+
+    def test_differs_for_different_inputs(self):
+        assert stable_hash("abc") != stable_hash("abd")
+
+    def test_non_negative_and_bounded(self):
+        value = stable_hash("x", bits=32)
+        assert 0 <= value < 2**32
+
+
+class TestNewRng:
+    def test_int_seed_is_deterministic(self):
+        assert new_rng(3).integers(0, 1000) == new_rng(3).integers(0, 1000)
+
+    def test_string_seed_is_deterministic(self):
+        assert new_rng("seed").integers(0, 1000) == new_rng("seed").integers(0, 1000)
+
+    def test_tuple_seed_is_supported(self):
+        assert new_rng(("a", 1)).integers(0, 1000) == new_rng(("a", 1)).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert new_rng(generator) is generator
+
+    def test_different_seeds_differ(self):
+        draws_a = new_rng(1).integers(0, 10_000, size=8)
+        draws_b = new_rng(2).integers(0, 10_000, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+
+class TestSpawnRng:
+    def test_spawn_is_deterministic_given_parent_state(self):
+        child_a = spawn_rng(new_rng(5), "task", "x")
+        child_b = spawn_rng(new_rng(5), "task", "x")
+        assert child_a.integers(0, 10_000) == child_b.integers(0, 10_000)
+
+    def test_spawn_differs_by_label(self):
+        parent = new_rng(5)
+        child_a = spawn_rng(parent, "a")
+        parent = new_rng(5)
+        child_b = spawn_rng(parent, "b")
+        assert child_a.integers(0, 10_000) != child_b.integers(0, 10_000)
+
+
+class TestChoiceWithoutReplacement:
+    def test_returns_all_when_count_exceeds_pool(self):
+        assert choice_without_replacement(new_rng(0), [1, 2, 3], 10) == [1, 2, 3]
+
+    def test_samples_distinct_items(self):
+        picked = choice_without_replacement(new_rng(0), list(range(100)), 10)
+        assert len(picked) == len(set(picked)) == 10
+
+
+class TestSerialization:
+    def test_roundtrip_with_numpy_types(self, tmp_path):
+        payload = {"a": np.int64(3), "b": np.float32(1.5), "c": np.arange(4), "d": "text"}
+        path = save_json(payload, tmp_path / "sub" / "data.json")
+        loaded = load_json(path)
+        assert loaded["a"] == 3
+        assert loaded["b"] == pytest.approx(1.5)
+        assert loaded["c"] == [0, 1, 2, 3]
+        assert loaded["d"] == "text"
+
+
+class TestTopologicalOrder:
+    def test_linear_chain(self):
+        order = topological_order(["a", "b", "c"], {"a": ["b"], "b": ["c"]})
+        assert order == ["a", "b", "c"]
+
+    def test_diamond_dependencies_respected(self):
+        order = topological_order(["a", "b", "c", "d"], {"a": ["b", "c"], "b": ["d"], "c": ["d"]})
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+
+    def test_cycle_raises(self):
+        with pytest.raises(ReplayError):
+            topological_order(["a", "b"], {"a": ["b"], "b": ["a"]})
+
+    def test_unknown_edge_target_raises(self):
+        with pytest.raises(ReplayError):
+            topological_order(["a"], {"a": ["ghost"]})
