@@ -1,29 +1,65 @@
-"""Command-line interface: ``cdmpp <network> <batch_size> <device>``.
+"""Command-line interface to the CDMPP reproduction.
 
-Mirrors the query interface described in Section 6 of the paper.  Because the
-offline reproduction has no shipped pre-trained checkpoint, the CLI trains a
-small predictor on a synthetic dataset first (the scale is configurable) and
-then answers the end-to-end latency query through the replayer, also printing
-the simulator's ground truth for comparison.
+Subcommands follow the train-once / query-many workflow of the paper:
+
+* ``cdmpp train <device>`` — train a cost model and register the checkpoint.
+* ``cdmpp query <network> <batch_size> <device>`` — answer an end-to-end
+  latency query, loading a registered checkpoint when one exists (training
+  and registering one otherwise, so only the *first* query pays for
+  training).
+* ``cdmpp serve <device>`` — answer a stream of queries from a file or stdin
+  through one cached, batched :class:`repro.serving.PredictionService`.
+* ``cdmpp list`` — show available networks, devices, scales and checkpoints.
+
+The original positional form ``cdmpp <network> <batch_size> <device>`` keeps
+working and preserves its train-from-scratch semantics (it never reads or
+writes the registry).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, TextIO, Tuple
 
 from repro.core.api import CDMPP
 from repro.core.scale import available_scales, get_scale
+from repro.core.trainer import Trainer
 from repro.dataset.splits import split_dataset
 from repro.dataset.tenset import DatasetConfig, generate_dataset
 from repro.devices.spec import all_device_names, get_device
+from repro.errors import ReproError
 from repro.graph.zoo import build_model, list_models
 from repro.replay.e2e import measure_end_to_end
+from repro.serving import ModelRegistry, PredictionService, default_registry_root
+
+SUBCOMMANDS = ("train", "query", "serve", "list")
+
+
+# ----------------------------------------------------------------------
+# Parsers
+# ----------------------------------------------------------------------
+def _add_scale_seed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=list(available_scales()),
+        help="experiment scale used when a cost model has to be trained",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _add_checkpoint_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--registry",
+        default=None,
+        help=f"model registry directory (default: $CDMPP_REGISTRY or {default_registry_root()})",
+    )
+    parser.add_argument("--checkpoint", default=None, help="explicit checkpoint path (.npz)")
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser."""
+    """The legacy positional-form parser (``cdmpp <network> <batch> <device>``)."""
     parser = argparse.ArgumentParser(
         prog="cdmpp",
         description="Predict the end-to-end latency of a DNN model on a device.",
@@ -31,18 +67,217 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("network", help=f"network name, one of: {', '.join(list_models())}")
     parser.add_argument("batch_size", type=int, help="batch size of the query")
     parser.add_argument("device", help=f"device name, one of: {', '.join(all_device_names())}")
-    parser.add_argument(
-        "--scale",
-        default="tiny",
-        choices=list(available_scales()),
-        help="experiment scale used to train the cost model before answering the query",
-    )
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    _add_scale_seed(parser)
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``cdmpp`` command."""
+def build_cli_parser() -> argparse.ArgumentParser:
+    """The subcommand parser (``cdmpp train|query|serve|list ...``)."""
+    parser = argparse.ArgumentParser(
+        prog="cdmpp",
+        description=(
+            "Train, persist and query the CDMPP cost model. "
+            "The legacy form `cdmpp <network> <batch_size> <device>` is still accepted."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a cost model and register the checkpoint")
+    train.add_argument("device", help=f"target device, one of: {', '.join(all_device_names())}")
+    _add_scale_seed(train)
+    train.add_argument("--registry", default=None, help="model registry directory")
+    train.add_argument(
+        "--name", default=None, help="registry name of the checkpoint (default: <device>-<scale>)"
+    )
+
+    query = sub.add_parser("query", help="predict the end-to-end latency of one network")
+    query.add_argument("network", help=f"network name, one of: {', '.join(list_models())}")
+    query.add_argument("batch_size", type=int, help="batch size of the query")
+    query.add_argument("device", help=f"device name, one of: {', '.join(all_device_names())}")
+    _add_scale_seed(query)
+    _add_checkpoint_options(query)
+    query.add_argument(
+        "--retrain", action="store_true", help="ignore existing checkpoints and train from scratch"
+    )
+    query.add_argument(
+        "--no-save", action="store_true", help="do not register a freshly trained model"
+    )
+
+    serve = sub.add_parser(
+        "serve", help="answer a stream of `network [batch_size]` queries through one service"
+    )
+    serve.add_argument("device", help=f"device name, one of: {', '.join(all_device_names())}")
+    _add_scale_seed(serve)
+    _add_checkpoint_options(serve)
+    serve.add_argument(
+        "--requests",
+        default="-",
+        help="file with one `network [batch_size]` query per line ('-' reads stdin)",
+    )
+
+    sub.add_parser("list", help="show networks, devices, scales and registered checkpoints")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _train_trainer(device_name: str, scale_name: str, seed: int) -> Trainer:
+    """Train a fresh cost model for one device at the given scale."""
+    scale = get_scale(scale_name)
+    dataset = generate_dataset(
+        DatasetConfig(devices=(device_name,), seed=seed, **scale.dataset_kwargs())
+    )
+    splits = split_dataset(dataset.records(device_name), seed=seed)
+    cdmpp = CDMPP(
+        predictor_config=scale.predictor_config(),
+        training_config=scale.training_config(seed=seed),
+    )
+    cdmpp.pretrain(splits.train, splits.valid, epochs=scale.epochs)
+    return cdmpp.trainer
+
+
+def _resolve_trainer(args) -> Tuple[Trainer, str, Optional[ModelRegistry], str]:
+    """Load a trainer from --checkpoint / the registry, else train one.
+
+    Returns ``(trainer, source, registry, registry_name)`` where ``source``
+    is ``"checkpoint"``, ``"registry"`` or ``"trained"``.
+    """
+    from repro.core.persistence import load_trainer
+
+    registry = ModelRegistry(args.registry)
+    name = f"{args.device}-{args.scale}"
+    if getattr(args, "checkpoint", None):
+        print(f"[cdmpp] loading checkpoint {args.checkpoint} ...")
+        return load_trainer(args.checkpoint), "checkpoint", registry, name
+    if not getattr(args, "retrain", False) and registry.exists(name):
+        print(f"[cdmpp] loading pre-trained model {name!r} from {registry.root} ...")
+        return registry.load(name), "registry", registry, name
+    print(f"[cdmpp] training a {args.scale}-scale cost model on device {args.device} ...")
+    trainer = _train_trainer(args.device, args.scale, args.seed)
+    return trainer, "trained", registry, name
+
+
+def _print_query_report(prediction, ground_truth, batch_size: int, device) -> None:
+    error = abs(prediction.predicted_latency_s - ground_truth.iteration_time_s) / max(
+        ground_truth.iteration_time_s, 1e-12
+    )
+    print(f"[cdmpp] network:             {prediction.model} (batch={batch_size}, {prediction.num_nodes} ops)")
+    print(f"[cdmpp] device:              {device.name} ({device.taxonomy})")
+    print(f"[cdmpp] predicted latency:   {prediction.predicted_latency_s * 1e3:.3f} ms")
+    print(f"[cdmpp] simulated reference: {ground_truth.iteration_time_s * 1e3:.3f} ms")
+    print(f"[cdmpp] relative error:      {error * 100:.1f}%")
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_train(args) -> int:
+    try:
+        device = get_device(args.device)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    registry = ModelRegistry(args.registry)
+    name = args.name or f"{device.name}-{args.scale}"
+    print(f"[cdmpp] training a {args.scale}-scale cost model on device {device.name} ...")
+    trainer = _train_trainer(device.name, args.scale, args.seed)
+    path = registry.save(name, trainer, device=device.name, scale=args.scale, seed=args.seed)
+    print(f"[cdmpp] registered {name!r} at {path} ({path.stat().st_size / 1024:.0f} KiB)")
+    print(f"[cdmpp] answer queries with: cdmpp query <network> <batch> {device.name} --scale {args.scale}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    try:
+        device = get_device(args.device)
+        model = build_model(args.network, batch_size=args.batch_size)
+    except Exception as error:  # argparse-style error reporting
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    trainer, source, registry, name = _resolve_trainer(args)
+    if source == "trained" and not args.no_save:
+        path = registry.save(name, trainer, device=device.name, scale=args.scale, seed=args.seed)
+        print(f"[cdmpp] registered {name!r} at {path}; later queries skip training")
+
+    service = PredictionService(trainer)
+    prediction = service.predict_model(model, device, batch_size=args.batch_size, seed=args.seed)
+    ground_truth = measure_end_to_end(model, device, seed=args.seed)
+    _print_query_report(prediction, ground_truth, args.batch_size, device)
+    return 0
+
+
+def _cmd_serve(args, stream: Optional[TextIO] = None) -> int:
+    try:
+        device = get_device(args.device)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    opened = None
+    if stream is None:
+        if args.requests == "-":
+            stream = sys.stdin
+        else:
+            try:
+                stream = opened = open(args.requests, "r")
+            except OSError as error:
+                print(f"error: cannot read requests file: {error}", file=sys.stderr)
+                return 2
+
+    trainer, source, registry, name = _resolve_trainer(args)
+    if source == "trained":
+        registry.save(name, trainer, device=device.name, scale=args.scale, seed=args.seed)
+    service = PredictionService(trainer)
+
+    print(f"[cdmpp] serving device {device.name}; one `network [batch_size]` query per line")
+    answered = 0
+    try:
+        for line in stream:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                network, batch_size = parts[0], int(parts[1]) if len(parts) > 1 else 1
+                prediction = service.predict_model(
+                    network, device, batch_size=batch_size, seed=args.seed
+                )
+            except (ReproError, ValueError) as error:
+                print(f"error: bad query {line!r}: {error}", file=sys.stderr)
+                continue
+            answered += 1
+            print(
+                f"[cdmpp] {prediction.model:16s} batch={batch_size:<3d} "
+                f"-> {prediction.predicted_latency_s * 1e3:9.3f} ms  ({prediction.num_nodes} ops)"
+            )
+    finally:
+        if opened is not None:
+            opened.close()
+    stats = service.describe_stats()
+    cache = stats["prediction_cache"]
+    print(
+        f"[cdmpp] served {answered} queries: {stats['queries']} kernel lookups, "
+        f"{stats['predictions_computed']} predictor rows in {stats['batches']} batches, "
+        f"cache hit rate {cache['hit_rate'] * 100:.0f}%"
+    )
+    return 0
+
+
+def _cmd_list(args) -> int:
+    registry = ModelRegistry(getattr(args, "registry", None))
+    print("networks:  " + ", ".join(list_models()))
+    print("devices:   " + ", ".join(all_device_names()))
+    print("scales:    " + ", ".join(available_scales()))
+    checkpoints = registry.list()
+    print(f"registry:  {registry.root}")
+    print("models:    " + (", ".join(checkpoints) if checkpoints else "<none registered>"))
+    return 0
+
+
+def _run_legacy(argv: List[str]) -> int:
+    """The original one-shot form: train at --scale, then answer the query."""
     args = build_parser().parse_args(argv)
     try:
         device = get_device(args.device)
@@ -51,31 +286,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    scale = get_scale(args.scale)
-    print(f"[cdmpp] training a {scale.name}-scale cost model on device {device.name} ...")
-    dataset = generate_dataset(
-        DatasetConfig(devices=(device.name,), seed=args.seed, **scale.dataset_kwargs())
-    )
-    splits = split_dataset(dataset.records(device.name), seed=args.seed)
-
-    cdmpp = CDMPP(
-        predictor_config=scale.predictor_config(),
-        training_config=scale.training_config(),
-    )
-    cdmpp.pretrain(splits.train, splits.valid, epochs=scale.epochs)
-
-    prediction = cdmpp.predict_model(model, device, batch_size=args.batch_size, seed=args.seed)
+    print(f"[cdmpp] training a {args.scale}-scale cost model on device {device.name} ...")
+    trainer = _train_trainer(device.name, args.scale, args.seed)
+    service = PredictionService(trainer)
+    prediction = service.predict_model(model, device, batch_size=args.batch_size, seed=args.seed)
     ground_truth = measure_end_to_end(model, device, seed=args.seed)
-    error = abs(prediction.predicted_latency_s - ground_truth.iteration_time_s) / max(
-        ground_truth.iteration_time_s, 1e-12
-    )
-
-    print(f"[cdmpp] network:             {model.name} (batch={args.batch_size}, {len(model)} ops)")
-    print(f"[cdmpp] device:              {device.name} ({device.taxonomy})")
-    print(f"[cdmpp] predicted latency:   {prediction.predicted_latency_s * 1e3:.3f} ms")
-    print(f"[cdmpp] simulated reference: {ground_truth.iteration_time_s * 1e3:.3f} ms")
-    print(f"[cdmpp] relative error:      {error * 100:.1f}%")
+    _print_query_report(prediction, ground_truth, args.batch_size, device)
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``cdmpp`` command."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        build_cli_parser().print_help()
+        return 0 if argv else 2
+    if argv[0] in SUBCOMMANDS:
+        args = build_cli_parser().parse_args(argv)
+        handler = {
+            "train": _cmd_train,
+            "query": _cmd_query,
+            "serve": _cmd_serve,
+            "list": _cmd_list,
+        }[args.command]
+        try:
+            return handler(args)
+        except ReproError as error:  # e.g. a missing --checkpoint path
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    return _run_legacy(argv)
 
 
 if __name__ == "__main__":

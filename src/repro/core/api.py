@@ -49,6 +49,32 @@ class CDMPP:
         self._max_leaves: Optional[int] = None
 
     # ------------------------------------------------------------------
+    # Construction from existing / persisted trainers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trainer(cls, trainer: Trainer) -> "CDMPP":
+        """Wrap an already-fitted :class:`Trainer` in the query facade."""
+        cdmpp = cls.__new__(cls)
+        cdmpp.predictor_config = trainer.predictor.config
+        cdmpp.training_config = trainer.config
+        cdmpp.trainer = trainer
+        cdmpp._max_leaves = trainer.predictor.config.max_leaves
+        return cdmpp
+
+    @classmethod
+    def load(cls, path) -> "CDMPP":
+        """Load a facade around a checkpoint written by :meth:`save`."""
+        from repro.core.persistence import load_trainer
+
+        return cls.from_trainer(load_trainer(path))
+
+    def save(self, path, extra_meta: Optional[Dict] = None):
+        """Persist the trained cost model to ``path`` (.npz)."""
+        from repro.core.persistence import save_trainer
+
+        return save_trainer(self.trainer, path, extra_meta=extra_meta)
+
+    # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
     def pretrain(
@@ -99,24 +125,46 @@ class CDMPP:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def predict_programs(
+    def predict_latencies(
         self, programs: Sequence[TensorProgram], device: Union[str, DeviceSpec]
-    ) -> Dict[str, float]:
-        """Predicted latency (seconds) per workload key for a batch of programs."""
-        if not programs:
-            return {}
+    ) -> np.ndarray:
+        """Predicted latency (seconds) per program, in input order.
+
+        Unlike :meth:`predict_programs` this never collapses programs: two
+        different schedules of the same task (which share a ``workload_key``)
+        each get their own prediction.
+        """
+        if not len(programs):
+            return np.zeros(0, dtype=np.float64)
         features = featurize_programs(
             list(programs), device, max_leaves=self.predictor_config.max_leaves
         )
-        predictions = self.trainer.predict(features)
-        result: Dict[str, float] = {}
-        for key, value in zip(features.task_keys, predictions):
-            result[key] = float(value)
-        return result
+        return self.trainer.predict(features)
+
+    def predict_programs(
+        self, programs: Sequence[TensorProgram], device: Union[str, DeviceSpec]
+    ) -> Dict[str, float]:
+        """Predicted latency (seconds) per *workload key* for a batch of programs.
+
+        The mapping is keyed by ``task.workload_key``, so programs sharing a
+        workload key are explicitly de-duplicated: only the first occurrence
+        of each key is featurized and predicted (the replayer feeds one
+        program per unique workload, where this is exact).  Use
+        :meth:`predict_latencies` when distinct schedules of the same task
+        must each be scored.
+        """
+        programs = list(programs)
+        if not programs:
+            return {}
+        unique: Dict[str, TensorProgram] = {}
+        for program in programs:
+            unique.setdefault(program.task.workload_key, program)
+        predictions = self.predict_latencies(list(unique.values()), device)
+        return {key: float(value) for key, value in zip(unique.keys(), predictions)}
 
     def predict_program(self, program: TensorProgram, device: Union[str, DeviceSpec]) -> float:
         """Predicted latency (seconds) of a single tensor program."""
-        return self.predict_programs([program], device)[program.task.workload_key]
+        return float(self.predict_latencies([program], device)[0])
 
     def predict_model(
         self,
@@ -124,12 +172,16 @@ class CDMPP:
         device: Union[str, DeviceSpec],
         batch_size: int = 1,
         seed: int | str | None = 0,
+        cost_fn=None,
     ) -> EndToEndPrediction:
         """Predict the end-to-end latency of a DNN model on a device.
 
         The model is dissected into a TIR data-flow graph, the predictor is
         queried once per unique tensor program, and the replayer simulates
         the execution order (Algorithm 2) to produce the iteration time.
+        ``cost_fn`` overrides where per-kernel costs come from (the serving
+        layer routes them through its cache); the default queries this
+        facade's predictor directly.
         """
         from repro.graph.zoo import build_model
         from repro.replay.e2e import predict_end_to_end
@@ -139,7 +191,7 @@ class CDMPP:
         outcome = predict_end_to_end(
             graph,
             device_spec,
-            cost_fn=lambda programs: self.predict_programs(programs, device_spec),
+            cost_fn=cost_fn or (lambda programs: self.predict_programs(programs, device_spec)),
             seed=seed,
         )
         return EndToEndPrediction(

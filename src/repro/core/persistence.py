@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -32,8 +32,13 @@ def _config_to_dict(config) -> Dict:
     return dataclasses.asdict(config)
 
 
-def save_trainer(trainer: Trainer, path: PathLike) -> Path:
-    """Serialize a fitted :class:`Trainer` to ``path`` (.npz)."""
+def save_trainer(trainer: Trainer, path: PathLike, extra_meta: Optional[Dict] = None) -> Path:
+    """Serialize a fitted :class:`Trainer` to ``path`` (.npz).
+
+    ``extra_meta`` is an optional JSON-serializable dict stored alongside the
+    weights (the model registry records the target device, experiment scale
+    and package version there); it is recoverable with :func:`read_meta`.
+    """
     if not getattr(trainer, "_fitted", False):
         raise TrainingError("cannot save a trainer that has not been fitted")
     path = Path(path)
@@ -58,6 +63,7 @@ def save_trainer(trainer: Trainer, path: PathLike) -> Path:
             "std": transform._std,
             "lambda": getattr(transform, "lambda_", None),
         },
+        "extra": dict(extra_meta or {}),
     }
     if isinstance(transform, QuantileTransform):
         arrays["transform_quantiles"] = transform._quantiles
@@ -66,6 +72,19 @@ def save_trainer(trainer: Trainer, path: PathLike) -> Path:
 
     np.savez_compressed(path, **arrays)
     return path
+
+
+def read_meta(path: PathLike) -> Dict:
+    """Read a checkpoint's metadata (configs + ``extra_meta``) without weights.
+
+    Much cheaper than :func:`load_trainer` when only bookkeeping information
+    is needed (e.g. listing a model registry).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TrainingError(f"no saved model at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        return json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
 
 
 def load_trainer(path: PathLike) -> Trainer:

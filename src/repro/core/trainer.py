@@ -211,12 +211,35 @@ class Trainer:
             raise TrainingError("Trainer.normalize_features called before fit()")
         return self._normalize(features)
 
-    def predict(self, features: FeatureSet) -> np.ndarray:
-        """Predict latencies in seconds."""
+    @property
+    def max_leaves(self) -> int:
+        """Padded Compact-AST width the predictor was built for."""
+        return self.predictor.config.max_leaves
+
+    def predict(self, features: FeatureSet, batch_size: Optional[int] = None) -> np.ndarray:
+        """Predict latencies in seconds.
+
+        ``batch_size`` optionally micro-batches the forward pass so very large
+        query batches (the serving path) run in bounded memory; the result is
+        identical to the single-shot call because the predictor has no
+        cross-sample interactions.
+        """
         if not self._fitted:
             raise TrainingError("Trainer.predict called before fit()")
         self.predictor.eval()
-        transformed = self.predictor.predict_transformed(self._normalize(features))
+        normalized = self._normalize(features)
+        if batch_size is None or len(features) <= batch_size:
+            transformed = self.predictor.predict_transformed(normalized)
+        else:
+            if batch_size <= 0:
+                raise TrainingError(f"predict batch_size must be positive, got {batch_size}")
+            chunks = [
+                self.predictor.predict_transformed(
+                    normalized.subset(range(start, min(start + batch_size, len(features))))
+                )
+                for start in range(0, len(features), batch_size)
+            ]
+            transformed = np.concatenate(chunks)
         return np.maximum(self.transform.inverse_transform(transformed), 1e-12)
 
     def evaluate(self, features: FeatureSet) -> Dict[str, float]:

@@ -47,3 +47,7 @@ class SearchError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid experiment or model configuration."""
+
+
+class ServingError(ReproError):
+    """Prediction serving failed (no model for a device, unfitted model, ...)."""

@@ -179,14 +179,29 @@ def featurize_records(
 
 def featurize_programs(
     programs: Sequence[TensorProgram],
-    device: Union[str, DeviceSpec],
+    device: Union[str, DeviceSpec, Sequence[Union[str, DeviceSpec]]],
     use_positional_encoding: bool = True,
     max_leaves: Optional[int] = None,
 ) -> FeatureSet:
-    """Featurize unmeasured programs for inference on one target device."""
+    """Featurize unmeasured programs for inference.
+
+    ``device`` is either a single target device (applied to every program) or
+    a sequence with one device per program, which lets a cross-device model
+    answer a mixed-device query batch in a single vectorized call.
+    """
+    programs = list(programs)
+    if isinstance(device, (str, DeviceSpec)):
+        devices: List[Union[str, DeviceSpec]] = [device] * len(programs)
+    else:
+        devices = list(device)
+        if len(devices) != len(programs):
+            raise FeatureError(
+                f"got {len(devices)} devices for {len(programs)} programs; "
+                "pass one device, or exactly one per program"
+            )
     return _featurize(
-        programs=list(programs),
-        devices=[device] * len(programs),
+        programs=programs,
+        devices=devices,
         labels=None,
         models=[program.task.model for program in programs],
         use_positional_encoding=use_positional_encoding,

@@ -374,10 +374,19 @@ def list_models() -> List[str]:
     return sorted(MODEL_BUILDERS)
 
 
+def resolve_model_name(name: str) -> str:
+    """Resolve a zoo model name, accepting any unique prefix (``resnet`` -> ``resnet50``)."""
+    if name in MODEL_BUILDERS:
+        return name
+    matches = [candidate for candidate in list_models() if candidate.startswith(name)]
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
+        raise ModelError(f"ambiguous model {name!r}; matches: {', '.join(matches)}")
+    raise ModelError(f"unknown model {name!r}; available: {', '.join(list_models())}")
+
+
 def build_model(name: str, batch_size: int = 1, **kwargs) -> ModelGraph:
-    """Build a model from the zoo by name."""
-    try:
-        builder = MODEL_BUILDERS[name]
-    except KeyError as exc:
-        raise ModelError(f"unknown model {name!r}; available: {', '.join(list_models())}") from exc
+    """Build a model from the zoo by name (unique prefixes accepted)."""
+    builder = MODEL_BUILDERS[resolve_model_name(name)]
     return builder(batch_size=batch_size, **kwargs)

@@ -1,0 +1,23 @@
+"""Prediction serving: batched, cached, registry-backed latency queries.
+
+The serving layer is the "query many" half of the paper's train-once /
+query-many workflow: :class:`ModelRegistry` persists trained cost models,
+:class:`PredictionService` answers program- and model-level latency queries
+by micro-batching them into vectorized predictor calls behind an LRU
+feature/prediction cache.
+"""
+
+from repro.serving.cache import LRUCache, program_cache_key, schedule_fingerprint
+from repro.serving.registry import ModelRegistry, default_registry_root
+from repro.serving.service import PendingPrediction, PredictionService, ServingStats
+
+__all__ = [
+    "LRUCache",
+    "ModelRegistry",
+    "PendingPrediction",
+    "PredictionService",
+    "ServingStats",
+    "default_registry_root",
+    "program_cache_key",
+    "schedule_fingerprint",
+]

@@ -1,0 +1,142 @@
+"""LRU caching for the prediction-serving path.
+
+The dominant cost of answering a latency query is ``featurize_programs``
+(Compact-AST extraction + positional encoding), followed by the predictor
+forward pass.  The serving layer therefore caches at two levels:
+
+* a **feature cache** holding the one-row :class:`FeatureSet` of a program,
+  so a repeated query skips featurization entirely, and
+* a **prediction cache** holding the final latency in seconds, so a repeated
+  query skips the predictor forward pass too.
+
+Both are keyed by :func:`program_cache_key`.  The issue-level key is
+``(workload_key, device, max_leaves)``; because two *different* schedules of
+the same task share a workload key (see ``CDMPP.predict_latencies``), the key
+additionally folds in a stable fingerprint of the schedule so distinct
+kernels never alias in the cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator, Optional, Tuple, Union
+
+from repro.devices.spec import DeviceSpec
+from repro.tir.program import TensorProgram
+from repro.utils.rng import stable_hash
+
+CacheKey = Tuple[str, int, str, int]
+
+_MISSING = object()
+
+
+def schedule_fingerprint(program: TensorProgram) -> int:
+    """A stable fingerprint of a program's schedule steps.
+
+    Schedule steps are frozen dataclasses with deterministic ``repr``, so the
+    fingerprint is reproducible across processes (unlike ``hash``, which is
+    randomized for strings).
+    """
+    return stable_hash(tuple(repr(step) for step in program.schedule.steps), bits=48)
+
+
+def program_cache_key(
+    program: TensorProgram,
+    device: Union[str, DeviceSpec],
+    max_leaves: int,
+) -> CacheKey:
+    """Cache key of one (program, device) query at a given padding width."""
+    device_name = device if isinstance(device, str) else device.name
+    return (
+        program.task.workload_key,
+        schedule_fingerprint(program),
+        device_name,
+        int(max_leaves),
+    )
+
+
+class LRUCache:
+    """A size-bounded least-recently-used cache with hit/miss accounting.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used entry
+    once ``capacity`` is exceeded.  ``hits``/``misses``/``evictions`` feed the
+    serving statistics surfaced by :class:`repro.serving.PredictionService`.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or a miss and refreshing recency."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key`` without touching recency or the hit/miss counters."""
+        return self._entries.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        return self._entries.pop(key, _MISSING) is not _MISSING
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; use :meth:`reset_stats`)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters as a plain dict (for logging / the CLI stats line)."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(size={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

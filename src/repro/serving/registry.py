@@ -1,0 +1,99 @@
+"""Checkpoint-backed model registry.
+
+A :class:`ModelRegistry` is a directory of named ``.npz`` checkpoints written
+through :mod:`repro.core.persistence`.  It is how the CLI's ``train`` /
+``query`` / ``serve`` subcommands share pre-trained cost models across
+processes: train once, register under a name (conventionally
+``"<device>-<scale>"``), and every later invocation loads instead of
+retraining.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.persistence import load_trainer, read_meta, save_trainer
+from repro.core.trainer import Trainer
+from repro.errors import TrainingError
+from repro.version import __version__
+
+PathLike = Union[str, Path]
+
+_SUFFIX = ".npz"
+
+
+def default_registry_root() -> Path:
+    """The registry directory used when none is given.
+
+    ``$CDMPP_REGISTRY`` overrides the default of ``~/.cache/cdmpp/models``.
+    """
+    env = os.environ.get("CDMPP_REGISTRY")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "cdmpp" / "models"
+
+
+class ModelRegistry:
+    """Named, persisted cost models under one root directory."""
+
+    def __init__(self, root: Optional[PathLike] = None):
+        self.root = Path(root) if root is not None else default_registry_root()
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def path_for(self, name: str) -> Path:
+        """Checkpoint path of a registry entry (which may not exist yet)."""
+        if not name or "/" in name or name.startswith("."):
+            raise TrainingError(f"invalid registry model name {name!r}")
+        return self.root / f"{name}{_SUFFIX}"
+
+    def exists(self, name: str) -> bool:
+        """Whether a model is registered under ``name``."""
+        return self.path_for(name).exists()
+
+    def list(self) -> List[str]:
+        """Sorted names of all registered models."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob(f"*{_SUFFIX}"))
+
+    def describe(self, name: str) -> Dict:
+        """Checkpoint metadata (configs + registry annotations), weights untouched."""
+        return read_meta(self.path_for(name))
+
+    # ------------------------------------------------------------------
+    # Save / load
+    # ------------------------------------------------------------------
+    def save(self, name: str, trainer: Trainer, **annotations) -> Path:
+        """Register a fitted trainer under ``name``.
+
+        Keyword ``annotations`` (device, scale, ...) are stored in the
+        checkpoint metadata and come back through :meth:`describe`.
+        """
+        extra = {"registry_name": name, "version": __version__, **annotations}
+        return save_trainer(trainer, self.path_for(name), extra_meta=extra)
+
+    def load(self, name: str) -> Trainer:
+        """Load a registered trainer, ready to answer queries."""
+        path = self.path_for(name)
+        if not path.exists():
+            available = ", ".join(self.list()) or "<registry is empty>"
+            raise TrainingError(f"no model {name!r} in registry {self.root} (available: {available})")
+        return load_trainer(path)
+
+    def delete(self, name: str) -> bool:
+        """Remove a registered model; returns whether it existed."""
+        path = self.path_for(name)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def __contains__(self, name: str) -> bool:
+        return self.exists(name)
+
+    def __repr__(self) -> str:
+        return f"ModelRegistry(root={str(self.root)!r}, models={len(self.list())})"

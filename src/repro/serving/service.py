@@ -1,0 +1,347 @@
+"""Micro-batched, cached latency-prediction serving.
+
+The one-shot :class:`repro.core.api.CDMPP` facade featurizes and runs the
+predictor from scratch on every call.  A :class:`PredictionService` turns a
+set of trained models into a long-lived service in the "train once, query
+many" regime the paper targets (and that TLP-style tuners exercise when they
+score thousands of candidate schedules per round):
+
+* **micro-batching** — queries are enqueued with :meth:`submit` and executed
+  by :meth:`flush` as one vectorized ``Trainer.predict`` call per model, so
+  per-query Python and predictor overhead is amortized across the batch;
+* **feature cache** — the one-row :class:`FeatureSet` of each distinct
+  (program, device) query is kept in an LRU, so repeats skip
+  ``featurize_programs`` (the dominant per-query cost);
+* **prediction cache** — final latencies are kept in a second LRU, so exact
+  repeats skip the predictor entirely;
+* **model registry integration** — services are built straight from
+  :class:`repro.serving.registry.ModelRegistry` checkpoints, never retraining
+  in the serving process.
+
+The service is deliberately synchronous and single-threaded; sharded and
+async front-ends can wrap it without changing the batching core.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.api import CDMPP
+from repro.core.trainer import Trainer
+from repro.devices.spec import DeviceSpec
+from repro.errors import ServingError
+from repro.features.pipeline import FeatureSet, featurize_programs
+from repro.serving.cache import CacheKey, LRUCache, program_cache_key
+from repro.tir.program import TensorProgram
+
+ModelLike = Union[CDMPP, Trainer]
+
+DEFAULT_DEVICE = "*"
+
+
+def _as_cdmpp(model: ModelLike) -> CDMPP:
+    if isinstance(model, CDMPP):
+        if not getattr(model.trainer, "_fitted", False):
+            raise ServingError("PredictionService needs a fitted model (call pretrain first)")
+        return model
+    if isinstance(model, Trainer):
+        if not getattr(model, "_fitted", False):
+            raise ServingError("PredictionService needs a fitted trainer")
+        return CDMPP.from_trainer(model)
+    raise ServingError(f"expected CDMPP or Trainer, got {type(model).__name__}")
+
+
+class PendingPrediction:
+    """A ticket for one submitted query; resolved by the next flush."""
+
+    __slots__ = ("key", "device", "_service", "_value")
+
+    def __init__(self, service: "PredictionService", key: CacheKey, device: str):
+        self._service = service
+        self.key = key
+        self.device = device
+        self._value: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the prediction has been computed."""
+        return self._value is not None
+
+    def result(self) -> float:
+        """The predicted latency in seconds, flushing the service if needed."""
+        if self._value is None:
+            self._service.flush()
+        if self._value is None:  # pragma: no cover - flush always resolves
+            raise ServingError("pending prediction was not resolved by flush()")
+        return self._value
+
+    def _resolve(self, value: float) -> None:
+        self._value = float(value)
+
+
+@dataclass
+class _QueueEntry:
+    """One distinct queued query with every ticket coalesced onto it."""
+
+    program: TensorProgram
+    device: str
+    model_id: int
+    tickets: List[PendingPrediction] = field(default_factory=list)
+
+
+@dataclass
+class ServingStats:
+    """Lifetime counters of one :class:`PredictionService`."""
+
+    queries: int = 0
+    coalesced: int = 0
+    flushes: int = 0
+    batches: int = 0
+    programs_featurized: int = 0
+    predictions_computed: int = 0
+
+
+class PredictionService:
+    """Serve latency queries from trained cost models with batching + caching.
+
+    ``models`` is either a single fitted :class:`CDMPP`/:class:`Trainer`
+    (CDMPP is device-agnostic, so one cross-device model can serve every
+    device) or a mapping from device name to a per-device model; the entry
+    under ``"*"`` acts as the fallback for unlisted devices.
+    """
+
+    def __init__(
+        self,
+        models: Union[ModelLike, Mapping[str, ModelLike]],
+        feature_cache_size: int = 4096,
+        prediction_cache_size: int = 16384,
+        max_batch_size: int = 256,
+        predict_chunk_size: Optional[int] = 1024,
+    ):
+        if isinstance(models, Mapping):
+            if not models:
+                raise ServingError("PredictionService needs at least one model")
+            self._models: Dict[str, CDMPP] = {
+                name: _as_cdmpp(model) for name, model in models.items()
+            }
+        else:
+            self._models = {DEFAULT_DEVICE: _as_cdmpp(models)}
+        if max_batch_size <= 0:
+            raise ServingError(f"max_batch_size must be positive, got {max_batch_size}")
+        self.max_batch_size = int(max_batch_size)
+        self.predict_chunk_size = predict_chunk_size
+        self.feature_cache = LRUCache(feature_cache_size)
+        self.prediction_cache = LRUCache(prediction_cache_size)
+        self.stats = ServingStats()
+        self._queue: "OrderedDict[CacheKey, _QueueEntry]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Model management
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        names: Union[str, Mapping[str, str]],
+        **kwargs,
+    ) -> "PredictionService":
+        """Build a service from registry checkpoints.
+
+        ``names`` is either one checkpoint name (shared cross-device model)
+        or a mapping from device name to checkpoint name.
+        """
+        if isinstance(names, Mapping):
+            return cls({device: registry.load(name) for device, name in names.items()}, **kwargs)
+        return cls(registry.load(names), **kwargs)
+
+    def model_for(self, device: Union[str, DeviceSpec]) -> CDMPP:
+        """The model that serves ``device`` (exact entry, else the fallback)."""
+        name = device if isinstance(device, str) else device.name
+        model = self._models.get(name) or self._models.get(DEFAULT_DEVICE)
+        if model is None:
+            raise ServingError(
+                f"no model registered for device {name!r} "
+                f"(devices: {', '.join(sorted(self._models))}; add one under '*' as fallback)"
+            )
+        return model
+
+    def swap_model(self, device: str, model: ModelLike) -> None:
+        """Install (or replace) the model serving ``device``.
+
+        Cached *predictions* are dropped — they were produced by the old
+        weights — but cached *features* are kept: featurization does not
+        depend on the model, only on ``max_leaves``, so a fine-tuned
+        replacement with the same architecture reuses them for free.
+        """
+        if self._queue:
+            self.flush()
+        self._models[device] = _as_cdmpp(model)
+        self.prediction_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def submit(
+        self, program: TensorProgram, device: Union[str, DeviceSpec]
+    ) -> PendingPrediction:
+        """Enqueue one query; returns a ticket resolved at the next flush.
+
+        Cache hits resolve immediately; duplicate in-flight queries coalesce
+        onto the same queue entry, so a batch full of repeats still costs one
+        featurization and one predictor row.
+        """
+        device_name = device if isinstance(device, str) else device.name
+        model = self.model_for(device_name)
+        key = program_cache_key(program, device_name, model.predictor_config.max_leaves)
+        self.stats.queries += 1
+
+        ticket = PendingPrediction(self, key, device_name)
+        cached = self.prediction_cache.get(key)
+        if cached is not None:
+            ticket._resolve(cached)
+            return ticket
+
+        entry = self._queue.get(key)
+        if entry is not None:
+            self.stats.coalesced += 1
+            entry.tickets.append(ticket)
+            return ticket
+
+        self._queue[key] = _QueueEntry(
+            program=program, device=device_name, model_id=id(model), tickets=[ticket]
+        )
+        if len(self._queue) >= self.max_batch_size:
+            self.flush()
+        return ticket
+
+    def flush(self) -> int:
+        """Run every queued query through its model in vectorized batches.
+
+        Queries are grouped by owning model; each group is answered by a
+        single ``Trainer.predict`` call (mixed-device groups are featurized
+        with one device per program).  Returns the number of distinct queue
+        entries resolved.
+        """
+        if not self._queue:
+            return 0
+        queue, self._queue = self._queue, OrderedDict()
+        self.stats.flushes += 1
+
+        groups: "OrderedDict[int, List[CacheKey]]" = OrderedDict()
+        for key, entry in queue.items():
+            groups.setdefault(entry.model_id, []).append(key)
+
+        for keys in groups.values():
+            model = self.model_for(queue[keys[0]].device)
+            rows: List[FeatureSet] = []
+            missing: List[CacheKey] = []
+            for key in keys:
+                row = self.feature_cache.get(key)
+                rows.append(row)  # placeholder None for misses, filled below
+                if row is None:
+                    missing.append(key)
+            if missing:
+                featurized = featurize_programs(
+                    [queue[key].program for key in missing],
+                    [queue[key].device for key in missing],
+                    max_leaves=model.predictor_config.max_leaves,
+                )
+                self.stats.programs_featurized += len(missing)
+                fresh = {key: featurized.subset([i]) for i, key in enumerate(missing)}
+                for key, row in fresh.items():
+                    self.feature_cache.put(key, row)
+                rows = [row if row is not None else fresh[key] for key, row in zip(keys, rows)]
+            batch = rows[0] if len(rows) == 1 else FeatureSet.concatenate(rows)
+            predictions = model.trainer.predict(batch, batch_size=self.predict_chunk_size)
+            self.stats.batches += 1
+            self.stats.predictions_computed += len(keys)
+            for key, value in zip(keys, predictions):
+                value = float(value)
+                self.prediction_cache.put(key, value)
+                for ticket in queue[key].tickets:
+                    ticket._resolve(value)
+        return len(queue)
+
+    # ------------------------------------------------------------------
+    # Synchronous convenience API
+    # ------------------------------------------------------------------
+    def predict(
+        self, programs: Sequence[TensorProgram], device: Union[str, DeviceSpec]
+    ) -> np.ndarray:
+        """Latency (seconds) per program, in input order, via one batched pass."""
+        tickets = [self.submit(program, device) for program in programs]
+        self.flush()
+        return np.asarray([ticket.result() for ticket in tickets], dtype=np.float64)
+
+    def predict_program(
+        self, program: TensorProgram, device: Union[str, DeviceSpec]
+    ) -> float:
+        """Latency (seconds) of one program (cache-accelerated)."""
+        return float(self.predict([program], device)[0])
+
+    def predict_model(
+        self,
+        model: Union[str, object],
+        device: Union[str, DeviceSpec],
+        batch_size: int = 1,
+        seed: Union[int, str, None] = 0,
+    ):
+        """End-to-end model latency through the replayer, cost from this service.
+
+        Same contract as :meth:`repro.core.api.CDMPP.predict_model`, but every
+        per-kernel cost query goes through the batch-and-cache path, so
+        repeated whole-model queries (capacity planning sweeps, placement
+        search) reuse each other's kernels.
+        """
+        from repro.devices.spec import get_device
+
+        device_spec = get_device(device) if isinstance(device, str) else device
+        facade = self.model_for(device_spec)
+
+        def cost_fn(programs: List[TensorProgram]) -> Dict[str, float]:
+            values = self.predict(programs, device_spec)
+            return {
+                program.task.workload_key: float(value)
+                for program, value in zip(programs, values)
+            }
+
+        return facade.predict_model(
+            model, device_spec, batch_size=batch_size, seed=seed, cost_fn=cost_fn
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of distinct queries waiting for the next flush."""
+        return len(self._queue)
+
+    def describe_stats(self) -> Dict[str, object]:
+        """All serving counters plus both cache summaries, as a plain dict."""
+        return {
+            "queries": self.stats.queries,
+            "coalesced": self.stats.coalesced,
+            "flushes": self.stats.flushes,
+            "batches": self.stats.batches,
+            "programs_featurized": self.stats.programs_featurized,
+            "predictions_computed": self.stats.predictions_computed,
+            "feature_cache": self.feature_cache.stats(),
+            "prediction_cache": self.prediction_cache.stats(),
+        }
+
+    def reset_stats(self) -> None:
+        """Zero every counter (cache contents are kept)."""
+        self.stats = ServingStats()
+        self.feature_cache.reset_stats()
+        self.prediction_cache.reset_stats()
+
+    def __repr__(self) -> str:
+        return (
+            f"PredictionService(models={sorted(self._models)}, pending={self.pending}, "
+            f"prediction_cache={self.prediction_cache!r})"
+        )

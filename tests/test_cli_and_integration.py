@@ -35,6 +35,64 @@ class TestCLI:
         assert "relative error" in output
 
 
+class TestCLISubcommands:
+    def test_query_trains_once_then_loads_checkpoint(self, capsys, tmp_path):
+        registry = str(tmp_path / "registry")
+        argv = ["query", "bert_tiny", "1", "t4", "--scale", "tiny", "--registry", registry]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "training a tiny-scale cost model" in first
+        assert "registered 't4-tiny'" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "loading pre-trained model 't4-tiny'" in second
+        assert "training a tiny-scale cost model" not in second
+        assert "predicted latency" in second
+
+    def test_train_then_query_and_serve_share_the_checkpoint(self, capsys, tmp_path, monkeypatch):
+        import io
+
+        registry = str(tmp_path / "registry")
+        assert main(["train", "t4", "--scale", "tiny", "--registry", registry]) == 0
+        assert "registered 't4-tiny'" in capsys.readouterr().out
+
+        assert main(
+            ["query", "bert_tiny", "1", "t4", "--scale", "tiny", "--registry", registry]
+        ) == 0
+        assert "loading pre-trained model" in capsys.readouterr().out
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("bert_tiny 1\nbert_tiny 1\n"))
+        assert main(["serve", "t4", "--scale", "tiny", "--registry", registry]) == 0
+        served = capsys.readouterr().out
+        assert "loading pre-trained model" in served
+        assert "served 2 queries" in served
+        assert "cache hit rate" in served
+
+    def test_list_subcommand(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "networks:" in output and "bert_tiny" in output
+        assert "devices:" in output and "t4" in output
+        assert "scales:" in output and "tiny" in output
+
+    def test_query_prefix_resolves_unique_model_name(self):
+        from repro.errors import ModelError
+        from repro.graph.zoo import resolve_model_name
+
+        assert resolve_model_name("resnet") == "resnet50"
+        assert resolve_model_name("vgg") == "vgg16"
+        with pytest.raises(ModelError):
+            resolve_model_name("bert")  # ambiguous: bert_tiny / bert_base
+        with pytest.raises(ModelError):
+            resolve_model_name("alexnet")
+
+    def test_query_unknown_network_returns_error_code(self, capsys, tmp_path):
+        code = main(["query", "alexnet", "1", "t4", "--registry", str(tmp_path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestEndToEndIntegration:
     def test_pretrain_finetune_predict_pipeline(self, tiny_dataset):
         """The full CDPP pipeline: pre-train on T4+K80, adapt to the CPU."""
@@ -63,11 +121,7 @@ class TestEndToEndIntegration:
 
     def test_e2e_prediction_tracks_ground_truth(self, trained_trainer):
         """Whole-model prediction lands within a factor of the simulator truth."""
-        cdmpp = CDMPP.__new__(CDMPP)  # reuse the session-trained trainer
-        cdmpp.predictor_config = trained_trainer.predictor.config
-        cdmpp.training_config = trained_trainer.config
-        cdmpp.trainer = trained_trainer
-        cdmpp._max_leaves = trained_trainer.predictor.config.max_leaves
+        cdmpp = CDMPP.from_trainer(trained_trainer)  # reuse the session-trained trainer
 
         prediction = cdmpp.predict_model("bert_tiny", "t4", seed=0)
         truth = measure_end_to_end("bert_tiny", "t4", seed=0)
