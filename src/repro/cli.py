@@ -7,18 +7,30 @@ Subcommands follow the train-once / query-many workflow of the paper:
   latency query, loading a registered checkpoint when one exists (training
   and registering one otherwise, so only the *first* query pays for
   training).
+* ``cdmpp predict-model <network> --devices a,b`` — end-to-end latency of
+  one model on several devices at once, from registered checkpoints only
+  (never retrains), ranked fastest-first through one
+  :class:`repro.serving.FleetService`.
 * ``cdmpp serve <device>`` — answer a stream of queries from a file or stdin
   through one cached, batched :class:`repro.serving.PredictionService`.
+* ``cdmpp fleet --devices a,b`` — the multi-device version of ``serve``:
+  each streamed query names a network and optionally a device (default: fan
+  out to every device and rank).
 * ``cdmpp list`` — show available networks, devices, scales and checkpoints.
 
 The original positional form ``cdmpp <network> <batch_size> <device>`` keeps
 working and preserves its train-from-scratch semantics (it never reads or
 writes the registry).
+
+``docs/cli.md`` is generated from this argparse tree by
+``tools/gen_cli_docs.py`` (via :func:`render_cli_docs`); regenerate it after
+changing any parser here.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, TextIO, Tuple
 
@@ -27,13 +39,13 @@ from repro.core.scale import available_scales, get_scale
 from repro.core.trainer import Trainer
 from repro.dataset.splits import split_dataset
 from repro.dataset.tenset import DatasetConfig, generate_dataset
-from repro.devices.spec import all_device_names, get_device
+from repro.devices.spec import DeviceSpec, all_device_names, get_device
 from repro.errors import ReproError
-from repro.graph.zoo import build_model, list_models
-from repro.replay.e2e import measure_end_to_end
-from repro.serving import ModelRegistry, PredictionService, default_registry_root
+from repro.graph.zoo import build_model, list_models, resolve_model_name
+from repro.replay.e2e import COMPOSE_MODES, measure_end_to_end
+from repro.serving import FleetService, ModelRegistry, PredictionService
 
-SUBCOMMANDS = ("train", "query", "serve", "list")
+SUBCOMMANDS = ("train", "query", "predict-model", "serve", "fleet", "list")
 
 
 # ----------------------------------------------------------------------
@@ -49,13 +61,36 @@ def _add_scale_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
 
 
+# Kept literal (not interpolated from default_registry_root()) so --help and
+# the generated docs/cli.md do not depend on $CDMPP_REGISTRY or $HOME.
+_REGISTRY_HELP = "model registry directory (default: $CDMPP_REGISTRY or ~/.cache/cdmpp/models)"
+
+
 def _add_checkpoint_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--registry",
-        default=None,
-        help=f"model registry directory (default: $CDMPP_REGISTRY or {default_registry_root()})",
-    )
+    parser.add_argument("--registry", default=None, help=_REGISTRY_HELP)
     parser.add_argument("--checkpoint", default=None, help="explicit checkpoint path (.npz)")
+
+
+def _add_compose(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--compose",
+        default="replay",
+        choices=list(COMPOSE_MODES),
+        help="how per-kernel latencies become an end-to-end number: "
+        "'replay' simulates the execution order (Algorithm 2), "
+        "'serial' sums every kernel back to back",
+    )
+
+
+def _sub(sub, name: str, help_text: str, epilog: str) -> argparse.ArgumentParser:
+    """Add one subparser with a worked-example epilog (kept verbatim)."""
+    return sub.add_parser(
+        name,
+        help=help_text,
+        description=help_text[0].upper() + help_text[1:] + ".",
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cdmpp",
         description="Predict the end-to-end latency of a DNN model on a device.",
+        epilog="example:\n  cdmpp bert_tiny 1 t4 --scale tiny\n\n"
+        "Always trains from scratch and never touches the registry; prefer\n"
+        "`cdmpp query` for the train-once / query-many workflow.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("network", help=f"network name, one of: {', '.join(list_models())}")
     parser.add_argument("batch_size", type=int, help="batch size of the query")
@@ -72,25 +111,42 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def build_cli_parser() -> argparse.ArgumentParser:
-    """The subcommand parser (``cdmpp train|query|serve|list ...``)."""
+    """The subcommand parser (``cdmpp train|query|predict-model|serve|fleet|list``)."""
     parser = argparse.ArgumentParser(
         prog="cdmpp",
         description=(
             "Train, persist and query the CDMPP cost model. "
             "The legacy form `cdmpp <network> <batch_size> <device>` is still accepted."
         ),
+        epilog="See docs/cli.md for the full reference of every subcommand.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    train = sub.add_parser("train", help="train a cost model and register the checkpoint")
+    train = _sub(
+        sub,
+        "train",
+        "train a cost model and register the checkpoint",
+        "example:\n  cdmpp train t4 --scale tiny\n\n"
+        "Registers the checkpoint as '<device>-<scale>' (override with --name)\n"
+        "so `cdmpp query`, `cdmpp serve`, `cdmpp fleet` and\n"
+        "`cdmpp predict-model` can load it instead of retraining.",
+    )
     train.add_argument("device", help=f"target device, one of: {', '.join(all_device_names())}")
     _add_scale_seed(train)
-    train.add_argument("--registry", default=None, help="model registry directory")
+    train.add_argument("--registry", default=None, help=_REGISTRY_HELP)
     train.add_argument(
         "--name", default=None, help="registry name of the checkpoint (default: <device>-<scale>)"
     )
 
-    query = sub.add_parser("query", help="predict the end-to-end latency of one network")
+    query = _sub(
+        sub,
+        "query",
+        "predict the end-to-end latency of one network",
+        "example:\n  cdmpp query resnet 1 t4 --scale tiny\n\n"
+        "Loads the '<device>-<scale>' checkpoint when it exists; otherwise\n"
+        "trains one and registers it, so only the first query pays for\n"
+        "training. Unique network-name prefixes are accepted.",
+    )
     query.add_argument("network", help=f"network name, one of: {', '.join(list_models())}")
     query.add_argument("batch_size", type=int, help="batch size of the query")
     query.add_argument("device", help=f"device name, one of: {', '.join(all_device_names())}")
@@ -103,8 +159,39 @@ def build_cli_parser() -> argparse.ArgumentParser:
         "--no-save", action="store_true", help="do not register a freshly trained model"
     )
 
-    serve = sub.add_parser(
-        "serve", help="answer a stream of `network [batch_size]` queries through one service"
+    predict_model = _sub(
+        sub,
+        "predict-model",
+        "predict one network's end-to-end latency on several devices, ranked",
+        "example:\n  cdmpp train t4 --scale tiny && cdmpp train k80 --scale tiny\n"
+        "  cdmpp predict-model bert_tiny --devices t4,k80 --scale tiny\n\n"
+        "Serves exclusively from registered '<device>-<scale>' checkpoints\n"
+        "(or one --checkpoint shared by every device) and NEVER retrains;\n"
+        "train the missing devices first. All per-kernel queries of all\n"
+        "devices are answered in one batched predictor pass.",
+    )
+    predict_model.add_argument(
+        "network", help=f"network name, one of: {', '.join(list_models())}"
+    )
+    predict_model.add_argument(
+        "--devices",
+        required=True,
+        help="comma-separated device names to rank, e.g. 't4,k80'",
+    )
+    predict_model.add_argument("--batch-size", type=int, default=1, help="batch size of the query")
+    _add_scale_seed(predict_model)
+    _add_checkpoint_options(predict_model)
+    _add_compose(predict_model)
+
+    serve = _sub(
+        sub,
+        "serve",
+        "answer a stream of `network [batch_size]` queries through one service",
+        "example:\n  printf 'bert_tiny 1\\nvgg16 8\\n' | cdmpp serve t4 --scale tiny\n\n"
+        "Reads one `network [batch_size]` query per line from --requests\n"
+        "('-' = stdin, '#' starts a comment) and answers all of them through\n"
+        "one cached, batched PredictionService, printing cache statistics at\n"
+        "the end.",
     )
     serve.add_argument("device", help=f"device name, one of: {', '.join(all_device_names())}")
     _add_scale_seed(serve)
@@ -115,7 +202,44 @@ def build_cli_parser() -> argparse.ArgumentParser:
         help="file with one `network [batch_size]` query per line ('-' reads stdin)",
     )
 
-    sub.add_parser("list", help="show networks, devices, scales and registered checkpoints")
+    fleet = _sub(
+        sub,
+        "fleet",
+        "serve `network [batch_size] [device]` queries across a device fleet",
+        "example:\n  printf 'bert_tiny\\nresnet50 1 t4\\n' | "
+        "cdmpp fleet --devices t4,k80 --scale tiny\n\n"
+        "Each request line is `network [batch_size] [device]`; without a\n"
+        "device the query fans out to every fleet device and prints a ranked\n"
+        "answer. Serves from registered checkpoints; devices without one are\n"
+        "an error unless --train-missing is given.",
+    )
+    fleet.add_argument(
+        "--devices",
+        required=True,
+        help="comma-separated device names the fleet serves, e.g. 't4,k80'",
+    )
+    _add_scale_seed(fleet)
+    _add_checkpoint_options(fleet)
+    _add_compose(fleet)
+    fleet.add_argument(
+        "--requests",
+        default="-",
+        help="file with one `network [batch_size] [device]` query per line ('-' reads stdin)",
+    )
+    fleet.add_argument(
+        "--train-missing",
+        action="store_true",
+        help="train and register a checkpoint for fleet devices that have none "
+        "(default: missing checkpoints are an error)",
+    )
+
+    list_cmd = _sub(
+        sub,
+        "list",
+        "show networks, devices, scales and registered checkpoints",
+        "example:\n  cdmpp list --registry /tmp/cdmpp-models",
+    )
+    list_cmd.add_argument("--registry", default=None, help=_REGISTRY_HELP)
     return parser
 
 
@@ -156,6 +280,85 @@ def _resolve_trainer(args) -> Tuple[Trainer, str, Optional[ModelRegistry], str]:
     print(f"[cdmpp] training a {args.scale}-scale cost model on device {args.device} ...")
     trainer = _train_trainer(args.device, args.scale, args.seed)
     return trainer, "trained", registry, name
+
+
+def _parse_device_list(arg: str) -> List[DeviceSpec]:
+    """Parse a --devices value ('t4,k80') into device specs (raises ReproError)."""
+    names = [token.strip() for token in arg.split(",") if token.strip()]
+    if not names:
+        raise ReproError("--devices needs at least one device name (e.g. 't4,k80')")
+    specs, seen = [], set()
+    for name in names:
+        spec = get_device(name)
+        if spec.name not in seen:
+            seen.add(spec.name)
+            specs.append(spec)
+    return specs
+
+
+def _build_fleet(args, specs: List[DeviceSpec], train_missing: bool) -> FleetService:
+    """A FleetService over registered checkpoints for the given devices.
+
+    With --checkpoint, one explicitly loaded model serves every device.
+    Otherwise each device is served by its '<device>-<scale>' registry entry;
+    missing entries either abort (the default — serving never retrains) or
+    are trained and registered when ``train_missing`` is set.
+    """
+    from repro.core.persistence import load_trainer
+
+    if getattr(args, "checkpoint", None):
+        print(f"[cdmpp] loading checkpoint {args.checkpoint} for {len(specs)} device(s) ...")
+        trainer = load_trainer(args.checkpoint)
+        return FleetService({spec.name: trainer for spec in specs})
+
+    registry = ModelRegistry(args.registry)
+    names = {spec.name: f"{spec.name}-{args.scale}" for spec in specs}
+    missing = [device for device, name in names.items() if not registry.exists(name)]
+    if missing and not train_missing:
+        hint = " && ".join(f"cdmpp train {device} --scale {args.scale}" for device in missing)
+        raise ReproError(
+            f"no registered checkpoint for device(s) {', '.join(missing)} in {registry.root} "
+            f"(expected {', '.join(names[d] for d in missing)}); train them first: {hint}"
+        )
+    for device in missing:
+        print(f"[cdmpp] training a {args.scale}-scale cost model on device {device} ...")
+        trainer = _train_trainer(device, args.scale, args.seed)
+        registry.save(names[device], trainer, device=device, scale=args.scale, seed=args.seed)
+    print(
+        f"[cdmpp] fleet of {len(specs)} device(s) from {registry.root}: "
+        + ", ".join(f"{device}<-{name}" for device, name in names.items())
+    )
+    return FleetService.from_registry(registry, names)
+
+
+def _open_requests(args, stream: Optional[TextIO]) -> Optional[Tuple[TextIO, Optional[TextIO]]]:
+    """Resolve the --requests stream ('-' = stdin).
+
+    Returns ``(stream, opened)`` where ``opened`` is the file to close when
+    done (None for stdin / injected streams), or None after printing an error.
+    """
+    if stream is not None:
+        return stream, None
+    if args.requests == "-":
+        return sys.stdin, None
+    try:
+        opened = open(args.requests, "r")
+    except OSError as error:
+        print(f"error: cannot read requests file: {error}", file=sys.stderr)
+        return None
+    return opened, opened
+
+
+def _print_fleet_ranking(results) -> None:
+    fastest = results[0].predicted_latency_s if results else 0.0
+    for rank, prediction in enumerate(results, start=1):
+        relative = prediction.predicted_latency_s / fastest if fastest > 0 else 1.0
+        print(
+            f"[cdmpp]   {rank}. {prediction.device:12s} "
+            f"{prediction.predicted_latency_s * 1e3:9.3f} ms  "
+            f"({relative:4.2f}x, serial {prediction.serial_latency_s * 1e3:.3f} ms, "
+            f"{prediction.num_nodes} ops / {prediction.num_unique_kernels} kernels)"
+        )
 
 
 def _print_query_report(prediction, ground_truth, batch_size: int, device) -> None:
@@ -208,6 +411,106 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_predict_model(args) -> int:
+    try:
+        specs = _parse_device_list(args.devices)
+        network = resolve_model_name(args.network)
+        fleet = _build_fleet(args, specs, train_missing=False)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    results = fleet.predict_model_fleet(
+        network,
+        devices=[spec.name for spec in specs],
+        batch_size=args.batch_size,
+        seed=args.seed,
+        compose=args.compose,
+    )
+    print(
+        f"[cdmpp] {network} (batch={args.batch_size}): end-to-end latency on "
+        f"{len(results)} device(s), compose={args.compose}"
+    )
+    _print_fleet_ranking(results)
+    stats = fleet.describe_stats()["kernel_service"]
+    print(
+        f"[cdmpp] {stats['queries']} kernel queries answered in {stats['batches']} "
+        f"batched predictor call(s)"
+    )
+    return 0
+
+
+def _cmd_fleet(args, stream: Optional[TextIO] = None) -> int:
+    try:
+        specs = _parse_device_list(args.devices)
+        fleet = _build_fleet(args, specs, train_missing=args.train_missing)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    resolved = _open_requests(args, stream)
+    if resolved is None:
+        return 2
+    stream, opened = resolved
+
+    device_names = [spec.name for spec in specs]
+    print(
+        f"[cdmpp] fleet serving {', '.join(device_names)}; "
+        "one `network [batch_size] [device]` query per line"
+    )
+    answered = 0
+    try:
+        for line in stream:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                network = resolve_model_name(parts[0])
+                batch_size, target = 1, None
+                for token in parts[1:]:
+                    if token.isdigit():
+                        batch_size = int(token)
+                    else:
+                        target = token
+                if target is not None and target not in ("all", "*"):
+                    targets = [get_device(target).name]
+                    if targets[0] not in device_names:
+                        raise ReproError(
+                            f"device {targets[0]!r} is not part of this fleet "
+                            f"({', '.join(device_names)})"
+                        )
+                else:
+                    targets = device_names
+                results = fleet.predict_model_fleet(
+                    network,
+                    devices=targets,
+                    batch_size=batch_size,
+                    seed=args.seed,
+                    compose=args.compose,
+                )
+            except (ReproError, ValueError) as error:
+                print(f"error: bad query {line!r}: {error}", file=sys.stderr)
+                continue
+            answered += 1
+            print(f"[cdmpp] {network} batch={batch_size}:")
+            _print_fleet_ranking(results)
+    finally:
+        if opened is not None:
+            opened.close()
+
+    stats = fleet.describe_stats()
+    kernel = stats["kernel_service"]
+    cache = kernel["prediction_cache"]
+    print(
+        f"[cdmpp] served {answered} model queries ({stats['model_queries']} device answers): "
+        f"{kernel['queries']} kernel lookups, {kernel['predictions_computed']} predictor rows "
+        f"in {kernel['batches']} batches, cache hit rate {cache['hit_rate'] * 100:.0f}%, "
+        f"{stats['partitions']} partitions ({stats['partition_cache_hits']} reused)"
+    )
+    return 0
+
+
 def _cmd_serve(args, stream: Optional[TextIO] = None) -> int:
     try:
         device = get_device(args.device)
@@ -215,16 +518,10 @@ def _cmd_serve(args, stream: Optional[TextIO] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    opened = None
-    if stream is None:
-        if args.requests == "-":
-            stream = sys.stdin
-        else:
-            try:
-                stream = opened = open(args.requests, "r")
-            except OSError as error:
-                print(f"error: cannot read requests file: {error}", file=sys.stderr)
-                return 2
+    resolved = _open_requests(args, stream)
+    if resolved is None:
+        return 2
+    stream, opened = resolved
 
     trainer, source, registry, name = _resolve_trainer(args)
     if source == "trained":
@@ -266,7 +563,7 @@ def _cmd_serve(args, stream: Optional[TextIO] = None) -> int:
 
 
 def _cmd_list(args) -> int:
-    registry = ModelRegistry(getattr(args, "registry", None))
+    registry = ModelRegistry(args.registry)
     print("networks:  " + ", ".join(list_models()))
     print("devices:   " + ", ".join(all_device_names()))
     print("scales:    " + ", ".join(available_scales()))
@@ -295,6 +592,87 @@ def _run_legacy(argv: List[str]) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# CLI reference rendering (docs/cli.md)
+# ----------------------------------------------------------------------
+def _iter_cli_parsers() -> List[Tuple[str, argparse.ArgumentParser]]:
+    """Every documented parser: the subcommands plus the legacy form."""
+    parser = build_cli_parser()
+    parsers: List[Tuple[str, argparse.ArgumentParser]] = []
+    for action in parser._actions:  # noqa: SLF001 - argparse has no public walk API
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub_parser in action.choices.items():
+                parsers.append((f"cdmpp {name}", sub_parser))
+    parsers.append(("cdmpp <network> <batch_size> <device> (legacy form)", build_parser()))
+    return parsers
+
+
+def _render_parser_section(title: str, parser: argparse.ArgumentParser) -> List[str]:
+    lines = [f"## `{title}`", ""]
+    if parser.description:
+        lines += [parser.description.strip(), ""]
+    lines += ["```text", parser.format_usage().strip(), "```", ""]
+    rows = []
+    for action in parser._actions:  # noqa: SLF001
+        if isinstance(action, (argparse._HelpAction, argparse._SubParsersAction)):
+            continue
+        if action.option_strings:
+            name = ", ".join(f"`{option}`" for option in action.option_strings)
+            if action.choices:
+                name += " " + "\\|".join(str(choice) for choice in action.choices)
+        else:
+            name = f"`{action.metavar or action.dest}`"
+        default = ""
+        if not (action.default is None or action.default is False or action.default is argparse.SUPPRESS):
+            default = f"`{action.default}`"
+        help_text = (action.help or "").replace("|", "\\|")
+        rows.append(f"| {name} | {default} | {help_text} |")
+    if rows:
+        lines += ["| argument | default | description |", "|---|---|---|", *rows, ""]
+    if parser.epilog:
+        lines += ["```text", parser.epilog.strip(), "```", ""]
+    return lines
+
+
+def render_cli_docs() -> str:
+    """Render ``docs/cli.md`` from the live argparse tree.
+
+    Regenerated by ``tools/gen_cli_docs.py``; a width of 96 columns is pinned
+    so usage strings do not depend on the invoking terminal.
+    """
+    previous_columns = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "96"
+    try:
+        root = build_cli_parser()
+        lines = [
+            "# `cdmpp` command-line reference",
+            "",
+            "<!-- Generated from the argparse tree by tools/gen_cli_docs.py;",
+            "     do not edit by hand. Regenerate with:",
+            "     PYTHONPATH=src python tools/gen_cli_docs.py -->",
+            "",
+            (root.description or "").strip(),
+            "",
+            "```text",
+            root.format_usage().strip(),
+            "```",
+            "",
+            "Checkpoints live in a model registry directory: `--registry`, else",
+            "`$CDMPP_REGISTRY`, else `~/.cache/cdmpp/models`. Training commands",
+            "register checkpoints as `<device>-<scale>`; serving commands load",
+            "them by that name.",
+            "",
+        ]
+        for title, parser in _iter_cli_parsers():
+            lines.extend(_render_parser_section(title, parser))
+        return "\n".join(lines).rstrip() + "\n"
+    finally:
+        if previous_columns is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = previous_columns
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``cdmpp`` command."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -306,7 +684,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         handler = {
             "train": _cmd_train,
             "query": _cmd_query,
+            "predict-model": _cmd_predict_model,
             "serve": _cmd_serve,
+            "fleet": _cmd_fleet,
             "list": _cmd_list,
         }[args.command]
         try:

@@ -173,6 +173,7 @@ class CDMPP:
         batch_size: int = 1,
         seed: int | str | None = 0,
         cost_fn=None,
+        compose: str = "replay",
     ) -> EndToEndPrediction:
         """Predict the end-to-end latency of a DNN model on a device.
 
@@ -181,7 +182,9 @@ class CDMPP:
         the execution order (Algorithm 2) to produce the iteration time.
         ``cost_fn`` overrides where per-kernel costs come from (the serving
         layer routes them through its cache); the default queries this
-        facade's predictor directly.
+        facade's predictor directly.  ``compose`` picks the composition mode
+        (``"replay"`` critical-path simulation, ``"serial"`` serial sum — see
+        :func:`repro.replay.compose_latencies`).
         """
         from repro.graph.zoo import build_model
         from repro.replay.e2e import predict_end_to_end
@@ -193,6 +196,7 @@ class CDMPP:
             device_spec,
             cost_fn=cost_fn or (lambda programs: self.predict_programs(programs, device_spec)),
             seed=seed,
+            compose=compose,
         )
         return EndToEndPrediction(
             model=graph.name,

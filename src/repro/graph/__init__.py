@@ -2,7 +2,7 @@
 
 from repro.graph.model import ModelGraph, OpNode
 from repro.graph.zoo import MODEL_BUILDERS, build_model, list_models
-from repro.graph.partition import extract_tasks, extract_unique_tasks
+from repro.graph.partition import extract_tasks, extract_unique_tasks, partition_into_programs
 from repro.graph.dfg import DFGNode, TIRDataFlowGraph, build_dfg
 
 __all__ = [
@@ -13,6 +13,7 @@ __all__ = [
     "list_models",
     "extract_tasks",
     "extract_unique_tasks",
+    "partition_into_programs",
     "DFGNode",
     "TIRDataFlowGraph",
     "build_dfg",

@@ -1,10 +1,15 @@
-"""Partitioning DNN models into auto-scheduler tasks.
+"""Partitioning DNN models into auto-scheduler tasks and tensor programs.
 
 TVM's auto-scheduler assigns one tuning task per (deduplicated) fused
 subgraph.  Here a task is attached to every operator node already, so
 partitioning amounts to collecting and deduplicating them -- but the helpers
 below also support gathering tasks across many models, which is how the
 Tenset-like dataset is assembled.
+
+:func:`partition_into_programs` goes one step further, from tasks to lowered
+*tensor programs*: it dissects a model into the TIR data-flow graph the
+replayer and the graph-level serving tier (:mod:`repro.serving.fleet`)
+consume, with one scheduled kernel per unique workload.
 """
 
 from __future__ import annotations
@@ -22,6 +27,26 @@ def _as_graph(model: ModelLike, batch_size: int = 1) -> ModelGraph:
     if isinstance(model, ModelGraph):
         return model
     return build_model(model, batch_size=batch_size)
+
+
+def partition_into_programs(
+    model: ModelLike,
+    target_kind: str = "gpu",
+    batch_size: int = 1,
+    seed: int | str | None = 0,
+):
+    """Partition a model into its TIR data-flow graph of tensor programs.
+
+    Each operator node is lowered with one deterministic random schedule per
+    unique workload (nodes sharing a workload share the kernel, as a compiled
+    model does).  ``target_kind`` is the device taxonomy (``"gpu"``, ``"cpu"``
+    or ``"accel"``) the schedules are sampled for.  Returns a
+    :class:`repro.graph.dfg.TIRDataFlowGraph`; its ``unique_programs()`` are
+    the per-kernel queries a cost model has to answer for the whole model.
+    """
+    from repro.graph.dfg import build_dfg
+
+    return build_dfg(_as_graph(model, batch_size), target_kind=target_kind, seed=seed)
 
 
 def extract_tasks(model: ModelLike, batch_size: int = 1) -> List[Task]:

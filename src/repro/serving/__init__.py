@@ -4,14 +4,27 @@ The serving layer is the "query many" half of the paper's train-once /
 query-many workflow: :class:`ModelRegistry` persists trained cost models,
 :class:`PredictionService` answers program- and model-level latency queries
 by micro-batching them into vectorized predictor calls behind an LRU
-feature/prediction cache.
+feature/prediction cache, and :class:`FleetService` layers the graph-level
+tier on top — partition a model into kernels, batch the kernel queries of a
+whole device fleet into one flush, and compose per-device end-to-end
+estimates (see :mod:`repro.serving.fleet`).
 """
 
-from repro.serving.cache import LRUCache, program_cache_key, schedule_fingerprint
+from repro.serving.cache import (
+    DeviceShardedCache,
+    LRUCache,
+    program_cache_key,
+    schedule_fingerprint,
+)
+from repro.serving.fleet import FleetPrediction, FleetService, FleetStats
 from repro.serving.registry import ModelRegistry, default_registry_root
 from repro.serving.service import PendingPrediction, PredictionService, ServingStats
 
 __all__ = [
+    "DeviceShardedCache",
+    "FleetPrediction",
+    "FleetService",
+    "FleetStats",
     "LRUCache",
     "ModelRegistry",
     "PendingPrediction",

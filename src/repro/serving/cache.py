@@ -140,3 +140,134 @@ class LRUCache:
             f"LRUCache(size={len(self._entries)}/{self.capacity}, "
             f"hits={self.hits}, misses={self.misses})"
         )
+
+
+class DeviceShardedCache:
+    """Per-device LRU shards behind the one cache interface the service uses.
+
+    Serving cache keys (:func:`program_cache_key`) carry the device name in
+    their third position; this cache routes every ``get``/``put`` to a
+    dedicated :class:`LRUCache` shard for that device.  The point is
+    *isolation*: retraining or hot-swapping one device's model invalidates
+    only that device's shard (:meth:`invalidate_device`), leaving every other
+    device's warm predictions untouched — the property
+    :class:`repro.serving.fleet.FleetService` relies on.
+
+    Shards are created on demand, each with ``capacity_per_device`` entries,
+    so total capacity grows with the fleet instead of devices competing for
+    one LRU.
+    """
+
+    def __init__(self, capacity_per_device: int = 16384):
+        if capacity_per_device <= 0:
+            raise ValueError(
+                f"cache capacity must be positive, got {capacity_per_device}"
+            )
+        self.capacity_per_device = int(capacity_per_device)
+        self._shards: "OrderedDict[str, LRUCache]" = OrderedDict()
+
+    @staticmethod
+    def device_of(key: CacheKey) -> str:
+        """The device component of a serving cache key."""
+        return key[2]
+
+    def shard(self, device: Union[str, DeviceSpec]) -> LRUCache:
+        """The (lazily created) shard serving one device."""
+        name = device if isinstance(device, str) else device.name
+        cache = self._shards.get(name)
+        if cache is None:
+            cache = self._shards[name] = LRUCache(self.capacity_per_device)
+        return cache
+
+    @property
+    def devices(self) -> Tuple[str, ...]:
+        """Names of the devices that currently have a shard."""
+        return tuple(self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards.values())
+
+    def __contains__(self, key: CacheKey) -> bool:
+        shard = self._shards.get(self.device_of(key))
+        return shard is not None and key in shard
+
+    def get(self, key: CacheKey, default: Any = None) -> Any:
+        """Look up ``key`` in its device's shard (counts a hit or miss there)."""
+        return self.shard(self.device_of(key)).get(key, default)
+
+    def peek(self, key: CacheKey, default: Any = None) -> Any:
+        """Look up ``key`` without touching recency or counters."""
+        shard = self._shards.get(self.device_of(key))
+        return default if shard is None else shard.peek(key, default)
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        """Insert ``key`` into its device's shard."""
+        self.shard(self.device_of(key)).put(key, value)
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop one entry; returns whether it existed."""
+        shard = self._shards.get(self.device_of(key))
+        return shard is not None and shard.invalidate(key)
+
+    def invalidate_device(self, device: Union[str, DeviceSpec]) -> int:
+        """Drop every entry of one device's shard; returns how many were dropped.
+
+        Other devices' shards — including their recency order and counters —
+        are untouched.
+        """
+        name = device if isinstance(device, str) else device.name
+        shard = self._shards.get(name)
+        if shard is None:
+            return 0
+        dropped = len(shard)
+        shard.clear()
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry of every shard (counters are kept)."""
+        for shard in self._shards.values():
+            shard.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the counters of every shard."""
+        for shard in self._shards.values():
+            shard.reset_stats()
+
+    @property
+    def hits(self) -> int:
+        """Hits summed over all shards."""
+        return sum(shard.hits for shard in self._shards.values())
+
+    @property
+    def misses(self) -> int:
+        """Misses summed over all shards."""
+        return sum(shard.misses for shard in self._shards.values())
+
+    @property
+    def evictions(self) -> int:
+        """Evictions summed over all shards."""
+        return sum(shard.evictions for shard in self._shards.values())
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from any shard (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Aggregate counters plus a per-device breakdown."""
+        return {
+            "size": len(self),
+            "capacity": self.capacity_per_device * max(len(self._shards), 1),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "devices": {name: shard.stats() for name, shard in self._shards.items()},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceShardedCache(devices={list(self._shards)}, size={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

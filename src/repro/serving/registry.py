@@ -40,6 +40,8 @@ class ModelRegistry:
 
     def __init__(self, root: Optional[PathLike] = None):
         self.root = Path(root) if root is not None else default_registry_root()
+        # (name, checkpoint mtime) -> loaded trainer, for load_shared().
+        self._load_cache: Dict[tuple, Trainer] = {}
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -83,6 +85,27 @@ class ModelRegistry:
             available = ", ".join(self.list()) or "<registry is empty>"
             raise TrainingError(f"no model {name!r} in registry {self.root} (available: {available})")
         return load_trainer(path)
+
+    def load_shared(self, name: str) -> Trainer:
+        """Load a registered trainer, memoized per (name, checkpoint mtime).
+
+        A fleet that serves the same checkpoint on several devices (CDMPP's
+        cross-device speciality) calls this once per device; every call after
+        the first returns the *same* trainer object, so the devices share one
+        set of weights in memory and their queries batch into one predictor
+        call.  A re-registered checkpoint (new mtime) is reloaded.
+        """
+        path = self.path_for(name)
+        if not path.exists():
+            return self.load(name)  # raises with the standard message
+        key = (name, path.stat().st_mtime_ns)
+        trainer = self._load_cache.get(key)
+        if trainer is None:
+            trainer = self._load_cache[key] = self.load(name)
+            # Drop stale mtimes of the same name so the cache stays bounded.
+            for stale in [k for k in self._load_cache if k[0] == name and k != key]:
+                del self._load_cache[stale]
+        return trainer
 
     def delete(self, name: str) -> bool:
         """Remove a registered model; returns whether it existed."""

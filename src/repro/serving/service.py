@@ -121,12 +121,18 @@ class PredictionService:
         prediction_cache_size: int = 16384,
         max_batch_size: int = 256,
         predict_chunk_size: Optional[int] = 1024,
+        feature_cache: Optional[LRUCache] = None,
+        prediction_cache=None,
     ):
         if isinstance(models, Mapping):
             if not models:
                 raise ServingError("PredictionService needs at least one model")
+            # Devices handing in the same model object share one facade, so
+            # their queries land in one batch group at flush time.
+            facades: Dict[int, CDMPP] = {}
             self._models: Dict[str, CDMPP] = {
-                name: _as_cdmpp(model) for name, model in models.items()
+                name: facades.setdefault(id(model), _as_cdmpp(model))
+                for name, model in models.items()
             }
         else:
             self._models = {DEFAULT_DEVICE: _as_cdmpp(models)}
@@ -134,8 +140,13 @@ class PredictionService:
             raise ServingError(f"max_batch_size must be positive, got {max_batch_size}")
         self.max_batch_size = int(max_batch_size)
         self.predict_chunk_size = predict_chunk_size
-        self.feature_cache = LRUCache(feature_cache_size)
-        self.prediction_cache = LRUCache(prediction_cache_size)
+        # Caches may be injected (any object with the LRUCache get/put/stats
+        # surface) so several services — or a fleet — can share featurization
+        # work, or shard predictions per device (DeviceShardedCache).
+        self.feature_cache = feature_cache if feature_cache is not None else LRUCache(feature_cache_size)
+        self.prediction_cache = (
+            prediction_cache if prediction_cache is not None else LRUCache(prediction_cache_size)
+        )
         self.stats = ServingStats()
         self._queue: "OrderedDict[CacheKey, _QueueEntry]" = OrderedDict()
 
@@ -158,6 +169,11 @@ class PredictionService:
             return cls({device: registry.load(name) for device, name in names.items()}, **kwargs)
         return cls(registry.load(names), **kwargs)
 
+    @property
+    def devices(self) -> List[str]:
+        """Sorted device names with a dedicated model (``"*"`` = fallback)."""
+        return sorted(self._models)
+
     def model_for(self, device: Union[str, DeviceSpec]) -> CDMPP:
         """The model that serves ``device`` (exact entry, else the fallback)."""
         name = device if isinstance(device, str) else device.name
@@ -176,11 +192,27 @@ class PredictionService:
         weights — but cached *features* are kept: featurization does not
         depend on the model, only on ``max_leaves``, so a fine-tuned
         replacement with the same architecture reuses them for free.
+
+        With a device-sharded prediction cache only the swapped device's
+        shard is invalidated (unless the device is the ``"*"`` fallback,
+        whose model may have answered queries for any device).
         """
         if self._queue:
             self.flush()
-        self._models[device] = _as_cdmpp(model)
-        self.prediction_cache.clear()
+        # Reuse the facade of a model already serving another device, so the
+        # one-predictor-call-per-distinct-model batch grouping is preserved.
+        facade = None
+        if not isinstance(model, CDMPP):
+            facade = next(
+                (existing for existing in self._models.values() if existing.trainer is model),
+                None,
+            )
+        self._models[device] = facade if facade is not None else _as_cdmpp(model)
+        invalidate_device = getattr(self.prediction_cache, "invalidate_device", None)
+        if invalidate_device is not None and device != DEFAULT_DEVICE:
+            invalidate_device(device)
+        else:
+            self.prediction_cache.clear()
 
     # ------------------------------------------------------------------
     # Query path
@@ -289,6 +321,7 @@ class PredictionService:
         device: Union[str, DeviceSpec],
         batch_size: int = 1,
         seed: Union[int, str, None] = 0,
+        compose: str = "replay",
     ):
         """End-to-end model latency through the replayer, cost from this service.
 
@@ -310,7 +343,8 @@ class PredictionService:
             }
 
         return facade.predict_model(
-            model, device_spec, batch_size=batch_size, seed=seed, cost_fn=cost_fn
+            model, device_spec, batch_size=batch_size, seed=seed, cost_fn=cost_fn,
+            compose=compose,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Smoke-check the code blocks in README.md and docs/*.md so examples can't rot.
+
+For every fenced ``python`` block the script:
+
+* compiles the block (syntax errors fail the check), and
+* imports every top-level module the block imports (a renamed or deleted
+  ``repro`` module fails the check).
+
+Blocks fenced as ``text``/``bash``/anything else are ignored, so illustrative
+snippets that are not runnable Python must not be labelled ``python``.
+
+Usage:
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def iter_python_blocks(path: Path) -> Iterator[Tuple[int, str]]:
+    """Yield (starting line number, source) of every ```python block."""
+    language, start, lines = None, 0, []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _FENCE.match(line.strip())
+        if match is None:
+            if language is not None:
+                lines.append(line)
+            continue
+        if language is None:
+            language, start, lines = match.group(1).lower(), number + 1, []
+        else:
+            if language == "python":
+                yield start, "\n".join(lines)
+            language = None
+    if language == "python":  # unterminated fence: still check what we saw
+        yield start, "\n".join(lines)
+
+
+def check_block(path: Path, line: int, source: str) -> List[str]:
+    """Compile one block and import its top-level imports; return errors."""
+    location = f"{path.relative_to(REPO_ROOT)}:{line}"
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [f"{location}: syntax error in python block: {error}"]
+    errors = []
+    modules = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            modules.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            modules.add(node.module)
+    for module in sorted(modules):
+        try:
+            importlib.import_module(module)
+        except Exception as error:  # noqa: BLE001 - report any import failure
+            errors.append(f"{location}: cannot import {module!r}: {error}")
+    # Names imported `from module import name` must actually exist.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            try:
+                imported = importlib.import_module(node.module)
+            except Exception:
+                continue  # already reported above
+            for alias in node.names:
+                if alias.name != "*" and not hasattr(imported, alias.name):
+                    errors.append(
+                        f"{location}: {node.module!r} has no attribute {alias.name!r}"
+                    )
+    return errors
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    paths = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    errors: List[str] = []
+    blocks = 0
+    for path in paths:
+        if not path.exists():
+            errors.append(f"missing documentation file: {path}")
+            continue
+        for line, source in iter_python_blocks(path):
+            blocks += 1
+            errors.extend(check_block(path, line, source))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"\n{len(errors)} problem(s) in {blocks} python block(s)", file=sys.stderr)
+        return 1
+    print(f"checked {blocks} python block(s) across {len(paths)} file(s): all good")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Generate (or verify) docs/cli.md from the ``cdmpp`` argparse tree.
+
+Usage:
+    PYTHONPATH=src python tools/gen_cli_docs.py            # rewrite docs/cli.md
+    PYTHONPATH=src python tools/gen_cli_docs.py --check    # fail if out of date
+
+The CI docs job runs ``--check`` so the reference page cannot drift from the
+actual parsers; regenerate and commit after changing anything in
+``src/repro/cli.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_PATH = REPO_ROOT / "docs" / "cli.md"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify docs/cli.md matches the parsers instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import render_cli_docs
+
+    rendered = render_cli_docs()
+    if args.check:
+        current = DOC_PATH.read_text() if DOC_PATH.exists() else ""
+        if current != rendered:
+            print(
+                "docs/cli.md is out of date with src/repro/cli.py; regenerate with:\n"
+                "  PYTHONPATH=src python tools/gen_cli_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print("docs/cli.md is up to date")
+        return 0
+    DOC_PATH.write_text(rendered)
+    print(f"wrote {DOC_PATH} ({len(rendered.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
