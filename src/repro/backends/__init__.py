@@ -1,0 +1,49 @@
+"""Backend-agnostic cost models: one protocol for CDMPP and every baseline.
+
+This package is the seam between "which predictor" and "everything else".
+:class:`CostModel` defines the protocol (train / predict / evaluate /
+save / capabilities); :mod:`repro.backends.registry` maps string names to
+implementations (``make_backend("cdmpp")``, ``make_backend("xgboost")``,
+aliases included) and dispatches checkpoint loading on the ``backend``
+metadata tag; :class:`CDMPPBackend` and :class:`BaselineBackend` adapt the
+existing trainer and baselines onto the protocol.  The model registry,
+the serving stack (:class:`repro.serving.PredictionService`,
+:class:`repro.serving.FleetService`), the replayer and the CLI all consume
+cost models exclusively through this interface.
+"""
+
+from repro.backends.base import (
+    CostModel,
+    TrainStats,
+    as_cost_model,
+    ensure_model_level,
+    per_program_devices,
+)
+from repro.backends.baseline import BaselineBackend
+from repro.backends.cdmpp import CDMPPBackend
+from repro.backends.registry import (
+    LEGACY_BACKEND,
+    available_backends,
+    backend_of_checkpoint,
+    load_backend,
+    make_backend,
+    register_backend,
+    resolve_backend_name,
+)
+
+__all__ = [
+    "BaselineBackend",
+    "CDMPPBackend",
+    "CostModel",
+    "LEGACY_BACKEND",
+    "TrainStats",
+    "as_cost_model",
+    "available_backends",
+    "backend_of_checkpoint",
+    "ensure_model_level",
+    "load_backend",
+    "make_backend",
+    "per_program_devices",
+    "register_backend",
+    "resolve_backend_name",
+]

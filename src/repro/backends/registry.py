@@ -1,0 +1,152 @@
+"""String-keyed backend registry: construct and load any cost model by name.
+
+The registry is the single place that knows which ``CostModel``
+implementations exist.  Names resolve through the same canonical table as
+:func:`repro.baselines.make_baseline` (so ``"autotvm_xgboost"`` is the
+``"xgboost"`` backend), and checkpoints written by any backend carry a
+``backend`` tag in their metadata that :func:`load_backend` dispatches on —
+legacy untagged CDMPP trainer checkpoints load as ``"cdmpp"``.
+
+>>> from repro.backends import make_backend
+>>> model = make_backend("xgboost", n_estimators=20)   # doctest: +SKIP
+>>> model.fit(train_records)                           # doctest: +SKIP
+>>> model.save("model.npz")                            # doctest: +SKIP
+>>> restored = load_backend("model.npz")               # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Tuple
+
+from repro.backends.base import CostModel
+from repro.baselines.registry import canonical_baseline_name
+from repro.errors import TrainingError
+
+#: Default backend assumed for checkpoints without a ``backend`` tag
+#: (every trainer checkpoint written before the protocol existed).
+LEGACY_BACKEND = "cdmpp"
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered backend: how to construct it and how to load it."""
+
+    name: str
+    factory: Callable[..., CostModel]
+    loader: Callable[[Path], CostModel]
+    description: str = ""
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+
+
+def _normalize_backend_name(name: str) -> str:
+    """Lowercase a backend name, folding Table 1 aliases onto canonical names.
+
+    Names outside the Table 1 method families pass through normalised but
+    unchanged, so custom backends can register under any new name.
+    """
+    key = str(name).strip().lower().replace("-", "_").replace(" ", "_")
+    try:
+        return canonical_baseline_name(key)
+    except TrainingError:
+        return key
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., CostModel],
+    loader: Callable[[Path], CostModel],
+    description: str = "",
+) -> None:
+    """Register a backend under its canonical name.
+
+    ``factory(**config)`` must return an unfitted :class:`CostModel`;
+    ``loader(path)`` must restore one from a checkpoint written by its
+    ``save``.  Table 1 aliases fold onto their canonical name; any other
+    name registers as-is, so custom backends are first-class.
+    Re-registering a name replaces the previous entry (tests use this to
+    install doubles).
+    """
+    canonical = _normalize_backend_name(name)
+    _REGISTRY[canonical] = BackendSpec(
+        name=canonical, factory=factory, loader=loader, description=description
+    )
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Canonical names of every constructible backend, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend_name(name: str) -> str:
+    """Resolve a backend name or alias to its canonical registered name."""
+    canonical = _normalize_backend_name(name)
+    if canonical not in _REGISTRY:
+        raise TrainingError(
+            f"no backend registered under {name!r} (canonical: {canonical!r}); "
+            f"available backends: {', '.join(available_backends())}"
+        )
+    return canonical
+
+
+def make_backend(name: str, **config) -> CostModel:
+    """Construct an unfitted cost model by backend name (aliases accepted)."""
+    spec = _REGISTRY[resolve_backend_name(name)]
+    return spec.factory(**config)
+
+
+def backend_of_checkpoint(path) -> str:
+    """The backend tag of a checkpoint (``"cdmpp"`` when untagged)."""
+    from repro.core.persistence import read_meta
+
+    meta = read_meta(path)
+    return str(meta.get("backend") or meta.get("extra", {}).get("backend") or LEGACY_BACKEND)
+
+
+def load_backend(path) -> CostModel:
+    """Load any backend checkpoint, dispatching on its ``backend`` tag.
+
+    Raises a clear error when the tag names a backend this installation does
+    not know, instead of mis-parsing the archive.
+    """
+    name = backend_of_checkpoint(path)
+    try:
+        canonical = resolve_backend_name(name)
+    except TrainingError as error:
+        raise TrainingError(
+            f"checkpoint {Path(path)} was written by backend {name!r}, which is not "
+            f"registered here; available backends: {', '.join(available_backends())}"
+        ) from error
+    return _REGISTRY[canonical].loader(Path(path))
+
+
+def _register_builtin_backends() -> None:
+    from repro.backends.baseline import BaselineBackend
+    from repro.backends.cdmpp import CDMPPBackend
+    from repro.baselines.registry import RUNNABLE_BASELINES
+
+    register_backend(
+        "cdmpp",
+        CDMPPBackend,
+        CDMPPBackend.load,
+        "the paper's cross-device/cross-model transformer predictor",
+    )
+    descriptions = {
+        "xgboost": "gradient-boosted trees on flat features (AutoTVM/Ansor family)",
+        "tlp": "schedule-primitive features, per-device heads, relative cost",
+        "habitat": "roofline wave-scaling plus per-operator MLPs (GPU only)",
+        "tiramisu": "recursive LSTM over the raw AST",
+    }
+    for baseline in RUNNABLE_BASELINES:
+        register_backend(
+            baseline,
+            (lambda name: lambda **config: BaselineBackend(name, **config))(baseline),
+            BaselineBackend.load,
+            descriptions.get(baseline, ""),
+        )
+
+
+_register_builtin_backends()

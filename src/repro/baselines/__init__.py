@@ -16,7 +16,14 @@ from repro.baselines.xgboost import XGBoostCostModel
 from repro.baselines.tiramisu import TiramisuCostModel
 from repro.baselines.habitat import HabitatCostModel
 from repro.baselines.tlp import TLPCostModel
-from repro.baselines.registry import BASELINE_CAPABILITIES, make_baseline
+from repro.baselines.registry import (
+    BASELINE_ALIASES,
+    BASELINE_CAPABILITIES,
+    RUNNABLE_BASELINES,
+    baseline_capabilities,
+    canonical_baseline_name,
+    make_baseline,
+)
 
 __all__ = [
     "BaselineCostModel",
@@ -26,6 +33,10 @@ __all__ = [
     "TiramisuCostModel",
     "HabitatCostModel",
     "TLPCostModel",
+    "BASELINE_ALIASES",
     "BASELINE_CAPABILITIES",
+    "RUNNABLE_BASELINES",
+    "baseline_capabilities",
+    "canonical_baseline_name",
     "make_baseline",
 ]

@@ -1,8 +1,16 @@
-"""Baseline registry and the Table 1 capability matrix."""
+"""Baseline registry, canonical naming and the Table 1 capability matrix.
+
+One canonical name table serves every consumer: :func:`make_baseline`, the
+Table 1 capability matrix and the backend registry of :mod:`repro.backends`
+all resolve method names through :func:`canonical_baseline_name`, so
+``"xgboost"``, ``"autotvm_xgboost"`` and ``"autotvm-xgboost"`` are the same
+method everywhere (the paper's Table 1 spells it ``autotvm_xgboost``; the
+runnable implementation registers as ``xgboost``).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Tuple
 
 from repro.baselines.base import BaselineCostModel
 from repro.baselines.habitat import HabitatCostModel
@@ -11,8 +19,35 @@ from repro.baselines.tlp import TLPCostModel
 from repro.baselines.xgboost import XGBoostCostModel
 from repro.errors import TrainingError
 
+# Canonical method name -> accepted aliases.  Canonical names are the ones
+# the backend registry and `make_baseline` construct; the Table 1 spelling of
+# the XGBoost family ("autotvm_xgboost") is an alias of the runnable
+# "xgboost" implementation.
+BASELINE_ALIASES: Dict[str, Tuple[str, ...]] = {
+    "cdmpp": (),
+    "xgboost": ("autotvm_xgboost", "autotvm", "ansor_xgboost"),
+    "tiramisu": (),
+    "habitat": (),
+    "tlp": (),
+    "kaufman_tpu": ("tpu_learned_cost_model",),
+    "metatune": (),
+    "nnlqp": (),
+}
+
+_ALIAS_TO_CANONICAL: Dict[str, str] = {
+    alias: canonical for canonical, aliases in BASELINE_ALIASES.items() for alias in aliases
+}
+
+# Canonical name -> key of its Table 1 capability row (only where they differ).
+_TABLE1_KEY: Dict[str, str] = {"xgboost": "autotvm_xgboost"}
+
+# Methods with a runnable implementation behind make_baseline.
+RUNNABLE_BASELINES: Tuple[str, ...] = ("xgboost", "tiramisu", "habitat", "tlp")
+
 # Table 1 of the paper: which capabilities each predictor family offers.
-# Keys: absolute_time, model_level, op_level, cross_device.
+# Keys: absolute_time, model_level, op_level, cross_device.  Rows are keyed
+# by the paper's spelling; look them up by any alias through
+# :func:`baseline_capabilities`.
 BASELINE_CAPABILITIES: Dict[str, Dict[str, bool]] = {
     "autotvm_xgboost": {
         "absolute_time": False,
@@ -65,17 +100,46 @@ BASELINE_CAPABILITIES: Dict[str, Dict[str, bool]] = {
 }
 
 
+def canonical_baseline_name(name: str) -> str:
+    """Resolve a method name or alias to its canonical spelling.
+
+    Case-insensitive; hyphens and spaces normalise to underscores.  Raises
+    :class:`TrainingError` for names outside the Table 1 method families.
+    """
+    key = str(name).strip().lower().replace("-", "_").replace(" ", "_")
+    key = _ALIAS_TO_CANONICAL.get(key, key)
+    if key not in BASELINE_ALIASES:
+        known = ", ".join(sorted(BASELINE_ALIASES))
+        raise TrainingError(f"unknown cost-model name {name!r}; known methods: {known}")
+    return key
+
+
+def baseline_capabilities(name: str) -> Dict[str, bool]:
+    """The Table 1 capability row of a method, accepting any alias."""
+    canonical = canonical_baseline_name(name)
+    return dict(BASELINE_CAPABILITIES[_TABLE1_KEY.get(canonical, canonical)])
+
+
+_BASELINE_CLASSES = {
+    "xgboost": XGBoostCostModel,
+    "tiramisu": TiramisuCostModel,
+    "habitat": HabitatCostModel,
+    "tlp": TLPCostModel,
+}
+
+
 def make_baseline(name: str, **kwargs) -> BaselineCostModel:
-    """Instantiate a runnable baseline cost model by name."""
-    name = name.lower()
-    if name == "xgboost":
-        return XGBoostCostModel(**kwargs)
-    if name == "tiramisu":
-        return TiramisuCostModel(**kwargs)
-    if name == "habitat":
-        return HabitatCostModel(**kwargs)
-    if name == "tlp":
-        return TLPCostModel(**kwargs)
-    raise TrainingError(
-        f"unknown baseline {name!r}; runnable baselines: xgboost, tiramisu, habitat, tlp"
-    )
+    """Instantiate a runnable baseline cost model by (canonical or alias) name."""
+    canonical = canonical_baseline_name(name)
+    cls = _BASELINE_CLASSES.get(canonical)
+    if cls is None:
+        hint = (
+            "; use repro.backends.make_backend('cdmpp') for the CDMPP predictor"
+            if canonical == "cdmpp"
+            else ""
+        )
+        raise TrainingError(
+            f"{name!r} is not a runnable baseline (runnable: "
+            f"{', '.join(RUNNABLE_BASELINES)}){hint}"
+        )
+    return cls(**kwargs)

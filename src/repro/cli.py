@@ -3,14 +3,19 @@
 Subcommands follow the train-once / query-many workflow of the paper:
 
 * ``cdmpp train <device>`` — train a cost model and register the checkpoint.
+  ``--backend`` picks the predictor (``cdmpp`` by default, or any runnable
+  baseline: ``xgboost``, ``tlp``, ``habitat``, ``tiramisu``).
 * ``cdmpp query <network> <batch_size> <device>`` — answer an end-to-end
   latency query, loading a registered checkpoint when one exists (training
   and registering one otherwise, so only the *first* query pays for
-  training).
+  training).  ``--backend`` serves the query from a baseline checkpoint.
 * ``cdmpp predict-model <network> --devices a,b`` — end-to-end latency of
   one model on several devices at once, from registered checkpoints only
   (never retrains), ranked fastest-first through one
   :class:`repro.serving.FleetService`.
+* ``cdmpp compare <device>`` — train several backends side by side on one
+  dataset and print a Table-1-style capability + accuracy + training
+  throughput report.
 * ``cdmpp serve <device>`` — answer a stream of queries from a file or stdin
   through one cached, batched :class:`repro.serving.PredictionService`.
 * ``cdmpp fleet --devices a,b`` — the multi-device version of ``serve``:
@@ -34,8 +39,14 @@ import os
 import sys
 from typing import List, Optional, TextIO, Tuple
 
-from repro.core.api import CDMPP
-from repro.core.scale import available_scales, get_scale
+from repro.backends import (
+    CostModel,
+    available_backends,
+    load_backend,
+    make_backend,
+    resolve_backend_name,
+)
+from repro.core.scale import ExperimentScale, available_scales, get_scale
 from repro.core.trainer import Trainer
 from repro.dataset.splits import split_dataset
 from repro.dataset.tenset import DatasetConfig, generate_dataset
@@ -45,7 +56,7 @@ from repro.graph.zoo import build_model, list_models, resolve_model_name
 from repro.replay.e2e import COMPOSE_MODES, measure_end_to_end
 from repro.serving import FleetService, ModelRegistry, PredictionService
 
-SUBCOMMANDS = ("train", "query", "predict-model", "serve", "fleet", "list")
+SUBCOMMANDS = ("train", "query", "predict-model", "compare", "serve", "fleet", "list")
 
 
 # ----------------------------------------------------------------------
@@ -69,6 +80,17 @@ _REGISTRY_HELP = "model registry directory (default: $CDMPP_REGISTRY or ~/.cache
 def _add_checkpoint_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--registry", default=None, help=_REGISTRY_HELP)
     parser.add_argument("--checkpoint", default=None, help="explicit checkpoint path (.npz)")
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(available_backends()),
+        help="cost-model backend (default: cdmpp, or whatever backend wrote "
+        "an explicit --checkpoint; baselines register checkpoints as "
+        "'<device>-<scale>-<backend>')",
+    )
 
 
 def _add_compose(parser: argparse.ArgumentParser) -> None:
@@ -126,31 +148,38 @@ def build_cli_parser() -> argparse.ArgumentParser:
         sub,
         "train",
         "train a cost model and register the checkpoint",
-        "example:\n  cdmpp train t4 --scale tiny\n\n"
-        "Registers the checkpoint as '<device>-<scale>' (override with --name)\n"
+        "example:\n  cdmpp train t4 --scale tiny\n"
+        "  cdmpp train t4 --scale tiny --backend xgboost\n\n"
+        "Registers the checkpoint as '<device>-<scale>' for the cdmpp backend\n"
+        "and '<device>-<scale>-<backend>' for baselines (override with --name)\n"
         "so `cdmpp query`, `cdmpp serve`, `cdmpp fleet` and\n"
         "`cdmpp predict-model` can load it instead of retraining.",
     )
     train.add_argument("device", help=f"target device, one of: {', '.join(all_device_names())}")
     _add_scale_seed(train)
+    _add_backend(train)
     train.add_argument("--registry", default=None, help=_REGISTRY_HELP)
     train.add_argument(
-        "--name", default=None, help="registry name of the checkpoint (default: <device>-<scale>)"
+        "--name",
+        default=None,
+        help="registry name of the checkpoint (default: <device>-<scale>[-<backend>])",
     )
 
     query = _sub(
         sub,
         "query",
         "predict the end-to-end latency of one network",
-        "example:\n  cdmpp query resnet 1 t4 --scale tiny\n\n"
-        "Loads the '<device>-<scale>' checkpoint when it exists; otherwise\n"
-        "trains one and registers it, so only the first query pays for\n"
-        "training. Unique network-name prefixes are accepted.",
+        "example:\n  cdmpp query resnet 1 t4 --scale tiny\n"
+        "  cdmpp query resnet 1 t4 --backend xgboost\n\n"
+        "Loads the '<device>-<scale>[-<backend>]' checkpoint when it exists;\n"
+        "otherwise trains one and registers it, so only the first query pays\n"
+        "for training. Unique network-name prefixes are accepted.",
     )
     query.add_argument("network", help=f"network name, one of: {', '.join(list_models())}")
     query.add_argument("batch_size", type=int, help="batch size of the query")
     query.add_argument("device", help=f"device name, one of: {', '.join(all_device_names())}")
     _add_scale_seed(query)
+    _add_backend(query)
     _add_checkpoint_options(query)
     query.add_argument(
         "--retrain", action="store_true", help="ignore existing checkpoints and train from scratch"
@@ -180,8 +209,36 @@ def build_cli_parser() -> argparse.ArgumentParser:
     )
     predict_model.add_argument("--batch-size", type=int, default=1, help="batch size of the query")
     _add_scale_seed(predict_model)
+    _add_backend(predict_model)
     _add_checkpoint_options(predict_model)
     _add_compose(predict_model)
+
+    compare = _sub(
+        sub,
+        "compare",
+        "train and evaluate several backends side by side (Table 1 style)",
+        "example:\n  cdmpp compare t4 --scale tiny --backends cdmpp,xgboost,tlp\n\n"
+        "Generates one dataset for the device, trains every requested backend\n"
+        "on the same train/valid split and reports each backend's Table-1\n"
+        "capabilities, test MAPE/RMSE and training throughput. Backends that\n"
+        "cannot run on the device (e.g. habitat on a CPU) are reported as\n"
+        "failed instead of aborting the comparison.",
+    )
+    compare.add_argument("device", help=f"target device, one of: {', '.join(all_device_names())}")
+    compare.add_argument(
+        "--backends",
+        default="all",
+        help="comma-separated backend names to compare, or 'all' "
+        f"(available: {', '.join(available_backends())})",
+    )
+    _add_scale_seed(compare)
+    compare.add_argument(
+        "--register",
+        action="store_true",
+        help="also register each trained backend's checkpoint "
+        "('<device>-<scale>[-<backend>]')",
+    )
+    compare.add_argument("--registry", default=None, help=_REGISTRY_HELP)
 
     serve = _sub(
         sub,
@@ -246,40 +303,92 @@ def build_cli_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Shared helpers
 # ----------------------------------------------------------------------
-def _train_trainer(device_name: str, scale_name: str, seed: int) -> Trainer:
-    """Train a fresh cost model for one device at the given scale."""
+def _registry_name(device_name: str, scale_name: str, backend: str) -> str:
+    """Default registry name: '<device>-<scale>' plus a suffix for baselines."""
+    if backend == "cdmpp":
+        return f"{device_name}-{scale_name}"
+    return f"{device_name}-{scale_name}-{backend}"
+
+
+def _backend_phrase(backend: str) -> str:
+    """Log-message qualifier: empty for the default cdmpp backend."""
+    return "" if backend == "cdmpp" else f"{backend} "
+
+
+def _make_backend_for(backend: str, device_name: str, scale: ExperimentScale, seed: int) -> CostModel:
+    """An unfitted backend configured for one device at one scale."""
+    if backend == "cdmpp":
+        return make_backend(
+            "cdmpp",
+            predictor_config=scale.predictor_config(),
+            training_config=scale.training_config(seed=seed),
+        )
+    kwargs = {"seed": seed}
+    if backend == "habitat":
+        kwargs["target_device"] = device_name
+    return make_backend(backend, **kwargs)
+
+
+def _train_model(device_name: str, scale_name: str, seed: int, backend: str = "cdmpp") -> CostModel:
+    """Train a fresh cost model of any backend for one device at one scale."""
     scale = get_scale(scale_name)
     dataset = generate_dataset(
         DatasetConfig(devices=(device_name,), seed=seed, **scale.dataset_kwargs())
     )
     splits = split_dataset(dataset.records(device_name), seed=seed)
-    cdmpp = CDMPP(
-        predictor_config=scale.predictor_config(),
-        training_config=scale.training_config(seed=seed),
-    )
-    cdmpp.pretrain(splits.train, splits.valid, epochs=scale.epochs)
-    return cdmpp.trainer
+    model = _make_backend_for(backend, device_name, scale, seed)
+    model.fit(splits.train, splits.valid)
+    return model
 
 
-def _resolve_trainer(args) -> Tuple[Trainer, str, Optional[ModelRegistry], str]:
-    """Load a trainer from --checkpoint / the registry, else train one.
+def _train_trainer(device_name: str, scale_name: str, seed: int) -> Trainer:
+    """Train a fresh CDMPP cost model for one device at the given scale."""
+    return _train_model(device_name, scale_name, seed, backend="cdmpp").trainer
 
-    Returns ``(trainer, source, registry, registry_name)`` where ``source``
-    is ``"checkpoint"``, ``"registry"`` or ``"trained"``.
+
+def _resolve_model(args):
+    """Load a cost model from --checkpoint / the registry, else train one.
+
+    Returns ``(model, source, registry, registry_name)`` where ``source``
+    is ``"checkpoint"``, ``"registry"`` or ``"trained"``.  ``model`` is
+    whatever the checkpoint's backend tag dictates (a :class:`Trainer` for
+    cdmpp checkpoints, a :class:`CostModel` backend otherwise).
     """
-    from repro.core.persistence import load_trainer
-
     registry = ModelRegistry(args.registry)
-    name = f"{args.device}-{args.scale}"
+    requested = getattr(args, "backend", None)
+    backend = resolve_backend_name(requested or "cdmpp")
+    name = _registry_name(args.device, args.scale, backend)
     if getattr(args, "checkpoint", None):
+        if requested is not None:
+            from repro.backends import backend_of_checkpoint
+
+            tag = resolve_backend_name(backend_of_checkpoint(args.checkpoint))
+            if tag != backend:
+                raise ReproError(
+                    f"checkpoint {args.checkpoint} was written by backend {tag!r}, "
+                    f"but --backend {backend} was requested; drop --backend to "
+                    "serve the checkpoint as-is"
+                )
         print(f"[cdmpp] loading checkpoint {args.checkpoint} ...")
-        return load_trainer(args.checkpoint), "checkpoint", registry, name
+        return load_backend(args.checkpoint), "checkpoint", registry, name
     if not getattr(args, "retrain", False) and registry.exists(name):
-        print(f"[cdmpp] loading pre-trained model {name!r} from {registry.root} ...")
+        tag = resolve_backend_name(registry.backend_of(name))
+        if tag != backend:
+            raise ReproError(
+                f"registry entry {name!r} was written by backend {tag!r}, not "
+                f"{backend!r}; delete it or register under another name"
+            )
+        print(
+            f"[cdmpp] loading pre-trained {_backend_phrase(backend)}model {name!r} "
+            f"from {registry.root} ..."
+        )
         return registry.load(name), "registry", registry, name
-    print(f"[cdmpp] training a {args.scale}-scale cost model on device {args.device} ...")
-    trainer = _train_trainer(args.device, args.scale, args.seed)
-    return trainer, "trained", registry, name
+    print(
+        f"[cdmpp] training a {args.scale}-scale {_backend_phrase(backend)}cost model "
+        f"on device {args.device} ..."
+    )
+    model = _train_model(args.device, args.scale, args.seed, backend)
+    return model, "trained", registry, name
 
 
 def _parse_device_list(arg: str) -> List[DeviceSpec]:
@@ -300,30 +409,36 @@ def _build_fleet(args, specs: List[DeviceSpec], train_missing: bool) -> FleetSer
     """A FleetService over registered checkpoints for the given devices.
 
     With --checkpoint, one explicitly loaded model serves every device.
-    Otherwise each device is served by its '<device>-<scale>' registry entry;
-    missing entries either abort (the default — serving never retrains) or
-    are trained and registered when ``train_missing`` is set.
+    Otherwise each device is served by its '<device>-<scale>[-<backend>]'
+    registry entry; missing entries either abort (the default — serving
+    never retrains) or are trained and registered when ``train_missing`` is
+    set.
     """
-    from repro.core.persistence import load_trainer
-
     if getattr(args, "checkpoint", None):
         print(f"[cdmpp] loading checkpoint {args.checkpoint} for {len(specs)} device(s) ...")
-        trainer = load_trainer(args.checkpoint)
-        return FleetService({spec.name: trainer for spec in specs})
+        model = load_backend(args.checkpoint)
+        return FleetService({spec.name: model for spec in specs})
 
+    backend = resolve_backend_name(getattr(args, "backend", None) or "cdmpp")
     registry = ModelRegistry(args.registry)
-    names = {spec.name: f"{spec.name}-{args.scale}" for spec in specs}
+    names = {spec.name: _registry_name(spec.name, args.scale, backend) for spec in specs}
     missing = [device for device, name in names.items() if not registry.exists(name)]
     if missing and not train_missing:
-        hint = " && ".join(f"cdmpp train {device} --scale {args.scale}" for device in missing)
+        backend_flag = "" if backend == "cdmpp" else f" --backend {backend}"
+        hint = " && ".join(
+            f"cdmpp train {device} --scale {args.scale}{backend_flag}" for device in missing
+        )
         raise ReproError(
             f"no registered checkpoint for device(s) {', '.join(missing)} in {registry.root} "
             f"(expected {', '.join(names[d] for d in missing)}); train them first: {hint}"
         )
     for device in missing:
-        print(f"[cdmpp] training a {args.scale}-scale cost model on device {device} ...")
-        trainer = _train_trainer(device, args.scale, args.seed)
-        registry.save(names[device], trainer, device=device, scale=args.scale, seed=args.seed)
+        print(
+            f"[cdmpp] training a {args.scale}-scale {_backend_phrase(backend)}cost model "
+            f"on device {device} ..."
+        )
+        model = _train_model(device, args.scale, args.seed, backend)
+        registry.save(names[device], model, device=device, scale=args.scale, seed=args.seed)
     print(
         f"[cdmpp] fleet of {len(specs)} device(s) from {registry.root}: "
         + ", ".join(f"{device}<-{name}" for device, name in names.items())
@@ -378,16 +493,24 @@ def _print_query_report(prediction, ground_truth, batch_size: int, device) -> No
 def _cmd_train(args) -> int:
     try:
         device = get_device(args.device)
+        backend = resolve_backend_name(args.backend or "cdmpp")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     registry = ModelRegistry(args.registry)
-    name = args.name or f"{device.name}-{args.scale}"
-    print(f"[cdmpp] training a {args.scale}-scale cost model on device {device.name} ...")
-    trainer = _train_trainer(device.name, args.scale, args.seed)
-    path = registry.save(name, trainer, device=device.name, scale=args.scale, seed=args.seed)
+    name = args.name or _registry_name(device.name, args.scale, backend)
+    print(
+        f"[cdmpp] training a {args.scale}-scale {_backend_phrase(backend)}cost model "
+        f"on device {device.name} ..."
+    )
+    model = _train_model(device.name, args.scale, args.seed, backend)
+    path = registry.save(name, model, device=device.name, scale=args.scale, seed=args.seed)
     print(f"[cdmpp] registered {name!r} at {path} ({path.stat().st_size / 1024:.0f} KiB)")
-    print(f"[cdmpp] answer queries with: cdmpp query <network> <batch> {device.name} --scale {args.scale}")
+    backend_flag = "" if backend == "cdmpp" else f" --backend {backend}"
+    print(
+        f"[cdmpp] answer queries with: cdmpp query <network> <batch> {device.name} "
+        f"--scale {args.scale}{backend_flag}"
+    )
     return 0
 
 
@@ -399,16 +522,110 @@ def _cmd_query(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    trainer, source, registry, name = _resolve_trainer(args)
+    cost_model, source, registry, name = _resolve_model(args)
     if source == "trained" and not args.no_save:
-        path = registry.save(name, trainer, device=device.name, scale=args.scale, seed=args.seed)
+        path = registry.save(name, cost_model, device=device.name, scale=args.scale, seed=args.seed)
         print(f"[cdmpp] registered {name!r} at {path}; later queries skip training")
 
-    service = PredictionService(trainer)
+    service = PredictionService(cost_model)
     prediction = service.predict_model(model, device, batch_size=args.batch_size, seed=args.seed)
     ground_truth = measure_end_to_end(model, device, seed=args.seed)
     _print_query_report(prediction, ground_truth, args.batch_size, device)
     return 0
+
+
+def _format_compare_table(rows: List[dict]) -> List[str]:
+    """Render the Table-1-style comparison rows as aligned text lines."""
+    header = ["backend", "abs", "model", "op", "xdev", "MAPE%", "RMSE(ms)", "train_s", "samples/s"]
+    table = [header]
+    for row in rows:
+        if row.get("error"):
+            table.append([row["backend"], "-", "-", "-", "-", "failed", "-", "-", "-"])
+            continue
+        caps = row["capabilities"]
+        table.append([
+            row["backend"],
+            "yes" if caps["absolute_time"] else "no",
+            "yes" if caps["model_level"] else "no",
+            "yes" if caps["op_level"] else "no",
+            "yes" if caps["cross_device"] else "no",
+            f"{row['mape'] * 100:.1f}",
+            f"{row['rmse'] * 1e3:.4f}",
+            f"{row['train_seconds']:.2f}",
+            f"{row['throughput']:.0f}",
+        ])
+    widths = [max(len(line[col]) for line in table) for col in range(len(header))]
+    return [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip()
+        for line in table
+    ]
+
+
+def _cmd_compare(args) -> int:
+    try:
+        device = get_device(args.device)
+        if args.backends.strip().lower() in ("all", "*"):
+            backends = list(available_backends())
+        else:
+            tokens = [token.strip() for token in args.backends.split(",") if token.strip()]
+            if not tokens:
+                raise ReproError("--backends needs at least one backend name (or 'all')")
+            backends = []
+            for token in tokens:
+                name = resolve_backend_name(token)
+                if name not in backends:
+                    backends.append(name)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    scale = get_scale(args.scale)
+    print(f"[cdmpp] generating a {args.scale}-scale dataset for device {device.name} ...")
+    dataset = generate_dataset(
+        DatasetConfig(devices=(device.name,), seed=args.seed, **scale.dataset_kwargs())
+    )
+    splits = split_dataset(dataset.records(device.name), seed=args.seed)
+    print(
+        f"[cdmpp] comparing {len(backends)} backend(s) on {device.name}: "
+        f"{len(splits.train)} train / {len(splits.valid)} valid / {len(splits.test)} test records"
+    )
+
+    registry = ModelRegistry(args.registry) if args.register else None
+    rows: List[dict] = []
+    for backend in backends:
+        try:
+            model = _make_backend_for(backend, device.name, scale, args.seed)
+            stats = model.fit(splits.train, splits.valid)
+            metrics = model.evaluate(splits.test)
+        except ReproError as error:
+            print(f"[cdmpp] {backend}: failed ({error})")
+            rows.append({"backend": backend, "error": str(error)})
+            continue
+        rows.append({
+            "backend": backend,
+            "capabilities": model.capabilities,
+            "mape": metrics["mape"],
+            "rmse": metrics["rmse"],
+            "train_seconds": stats.train_seconds,
+            "throughput": stats.throughput_samples_per_s,
+        })
+        print(
+            f"[cdmpp] {backend}: MAPE {metrics['mape'] * 100:.1f}% in "
+            f"{stats.train_seconds:.2f}s ({stats.throughput_samples_per_s:.0f} samples/s)"
+        )
+        if registry is not None:
+            name = _registry_name(device.name, args.scale, backend)
+            registry.save(name, model, device=device.name, scale=args.scale, seed=args.seed)
+            print(f"[cdmpp] registered {name!r} in {registry.root}")
+
+    print(f"[cdmpp] Table-1-style comparison on {device.name} ({args.scale} scale):")
+    for line in _format_compare_table(rows):
+        print(f"[cdmpp]   {line}")
+    trained = [row for row in rows if not row.get("error")]
+    if trained:
+        best = min(trained, key=lambda row: row["mape"])
+        print(f"[cdmpp] best test MAPE: {best['backend']} ({best['mape'] * 100:.1f}%)")
+    return 0 if trained else 2
 
 
 def _cmd_predict_model(args) -> int:
@@ -523,10 +740,10 @@ def _cmd_serve(args, stream: Optional[TextIO] = None) -> int:
         return 2
     stream, opened = resolved
 
-    trainer, source, registry, name = _resolve_trainer(args)
+    cost_model, source, registry, name = _resolve_model(args)
     if source == "trained":
-        registry.save(name, trainer, device=device.name, scale=args.scale, seed=args.seed)
-    service = PredictionService(trainer)
+        registry.save(name, cost_model, device=device.name, scale=args.scale, seed=args.seed)
+    service = PredictionService(cost_model)
 
     print(f"[cdmpp] serving device {device.name}; one `network [batch_size]` query per line")
     answered = 0
@@ -685,6 +902,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "train": _cmd_train,
             "query": _cmd_query,
             "predict-model": _cmd_predict_model,
+            "compare": _cmd_compare,
             "serve": _cmd_serve,
             "fleet": _cmd_fleet,
             "list": _cmd_list,

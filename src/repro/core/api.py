@@ -18,7 +18,7 @@ from repro.core.finetune import CrossDeviceResult, cross_device_adaptation
 from repro.core.trainer import Trainer, TrainingResult
 from repro.devices.spec import DeviceSpec, get_device
 from repro.errors import TrainingError
-from repro.features.pipeline import FeatureSet, featurize_programs, featurize_records
+from repro.features.pipeline import FeatureSet
 from repro.graph.model import ModelGraph
 from repro.profiler.records import MeasureRecord
 from repro.tir.program import TensorProgram
@@ -36,17 +36,30 @@ class EndToEndPrediction:
 
 
 class CDMPP:
-    """Pre-train, fine-tune and query the CDMPP cost model."""
+    """Pre-train, fine-tune and query the CDMPP cost model.
+
+    The facade is a thin shim over :class:`repro.backends.CDMPPBackend`
+    (exposed as :attr:`backend`), which implements the backend-agnostic
+    :class:`repro.backends.CostModel` protocol the serving stack consumes.
+    """
 
     def __init__(
         self,
         predictor_config: Optional[PredictorConfig] = None,
         training_config: Optional[TrainingConfig] = None,
     ):
+        from repro.backends.cdmpp import CDMPPBackend
+
         self.predictor_config = predictor_config or PredictorConfig()
         self.training_config = training_config or TrainingConfig()
-        self.trainer = Trainer(predictor_config=self.predictor_config, config=self.training_config)
-        self._max_leaves: Optional[int] = None
+        self.backend = CDMPPBackend(
+            predictor_config=self.predictor_config, training_config=self.training_config
+        )
+
+    @property
+    def trainer(self) -> Trainer:
+        """The underlying trainer (owned by :attr:`backend`)."""
+        return self.backend.trainer
 
     # ------------------------------------------------------------------
     # Construction from existing / persisted trainers
@@ -54,11 +67,12 @@ class CDMPP:
     @classmethod
     def from_trainer(cls, trainer: Trainer) -> "CDMPP":
         """Wrap an already-fitted :class:`Trainer` in the query facade."""
+        from repro.backends.cdmpp import CDMPPBackend
+
         cdmpp = cls.__new__(cls)
         cdmpp.predictor_config = trainer.predictor.config
         cdmpp.training_config = trainer.config
-        cdmpp.trainer = trainer
-        cdmpp._max_leaves = trainer.predictor.config.max_leaves
+        cdmpp.backend = CDMPPBackend(trainer=trainer)
         return cdmpp
 
     @classmethod
@@ -86,21 +100,15 @@ class CDMPP:
         """Pre-train the predictor on measured records."""
         if not train_records:
             raise TrainingError("pretrain needs at least one training record")
-        train_fs = featurize_records(list(train_records), max_leaves=self.predictor_config.max_leaves)
-        self._max_leaves = train_fs.max_leaves
-        valid_fs = (
-            featurize_records(list(valid_records), max_leaves=self._max_leaves)
-            if valid_records
-            else None
-        )
-        return self.trainer.fit(train_fs, valid_fs, epochs=epochs)
+        self.backend.fit(list(train_records), list(valid_records) or None, epochs=epochs)
+        return self.backend.last_training_result
 
     def pretrain_features(
         self, train: FeatureSet, valid: Optional[FeatureSet] = None, epochs: Optional[int] = None
     ) -> TrainingResult:
         """Pre-train directly from already-featurized data."""
-        self._max_leaves = train.max_leaves
-        return self.trainer.fit(train, valid, epochs=epochs)
+        self.backend.fit_features(train, valid, epochs=epochs)
+        return self.backend.last_training_result
 
     def finetune_to_device(
         self,
@@ -134,12 +142,7 @@ class CDMPP:
         different schedules of the same task (which share a ``workload_key``)
         each get their own prediction.
         """
-        if not len(programs):
-            return np.zeros(0, dtype=np.float64)
-        features = featurize_programs(
-            list(programs), device, max_leaves=self.predictor_config.max_leaves
-        )
-        return self.trainer.predict(features)
+        return self.backend.predict_programs(list(programs), device)
 
     def predict_programs(
         self, programs: Sequence[TensorProgram], device: Union[str, DeviceSpec]

@@ -77,10 +77,12 @@ class AutoTuneResult:
 
 def configs_from_params(
     params: Dict[str, object],
-    base_predictor: PredictorConfig = PredictorConfig(),
-    base_training: TrainingConfig = TrainingConfig(),
+    base_predictor: Optional[PredictorConfig] = None,
+    base_training: Optional[TrainingConfig] = None,
 ) -> Tuple[PredictorConfig, TrainingConfig]:
     """Apply a sampled parameter dict onto base configurations."""
+    base_predictor = base_predictor if base_predictor is not None else PredictorConfig()
+    base_training = base_training if base_training is not None else TrainingConfig()
     width = int(params.get("decoder_width", base_predictor.decoder_hidden[0]))
     predictor = replace(
         base_predictor,
@@ -107,7 +109,7 @@ class AutoTuner:
 
     def __init__(
         self,
-        search_space: SearchSpace = SearchSpace(),
+        search_space: Optional[SearchSpace] = None,
         num_trials: int = 8,
         initial_epochs: int = 3,
         final_epochs: int = 10,
@@ -118,7 +120,7 @@ class AutoTuner:
             raise ConfigError("num_trials must be positive")
         if not 0 < survivor_fraction <= 1:
             raise ConfigError("survivor_fraction must be in (0, 1]")
-        self.search_space = search_space
+        self.search_space = search_space if search_space is not None else SearchSpace()
         self.num_trials = int(num_trials)
         self.initial_epochs = int(initial_epochs)
         self.final_epochs = int(final_epochs)
@@ -144,10 +146,12 @@ class AutoTuner:
         self,
         train: FeatureSet,
         valid: FeatureSet,
-        base_predictor: PredictorConfig = PredictorConfig(),
-        base_training: TrainingConfig = TrainingConfig(),
+        base_predictor: Optional[PredictorConfig] = None,
+        base_training: Optional[TrainingConfig] = None,
     ) -> AutoTuneResult:
         """Run the search and return the best configuration found."""
+        base_predictor = base_predictor if base_predictor is not None else PredictorConfig()
+        base_training = base_training if base_training is not None else TrainingConfig()
         candidates = [self.search_space.sample(self._rng) for _ in range(self.num_trials)]
         trials: List[Trial] = []
 

@@ -55,6 +55,9 @@ def save_trainer(trainer: Trainer, path: PathLike, extra_meta: Optional[Dict] = 
 
     transform = trainer.transform
     meta = {
+        # Backend tag for repro.backends.load_backend dispatch; checkpoints
+        # written before the tag existed load as "cdmpp" too.
+        "backend": "cdmpp",
         "predictor_config": _config_to_dict(trainer.predictor.config),
         "training_config": _config_to_dict(trainer.config),
         "transform": {
@@ -94,6 +97,12 @@ def load_trainer(path: PathLike) -> Trainer:
         raise TrainingError(f"no saved model at {path}")
     with np.load(path, allow_pickle=False) as archive:
         meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        backend = meta.get("backend", "cdmpp")
+        if backend != "cdmpp":
+            raise TrainingError(
+                f"checkpoint {path} was written by backend {backend!r}, not the CDMPP "
+                "trainer; load it through repro.backends.load_backend instead"
+            )
         predictor_config = PredictorConfig(
             **{k: tuple(v) if isinstance(v, list) else v for k, v in meta["predictor_config"].items()}
         )

@@ -33,9 +33,9 @@ from repro.utils.rng import new_rng
 class CDMPPPredictor(Module):
     """Cross-device / cross-model latency predictor."""
 
-    def __init__(self, config: PredictorConfig = PredictorConfig(), seed: int | str | None = 0):
+    def __init__(self, config: Optional[PredictorConfig] = None, seed: int | str | None = 0):
         super().__init__()
-        self.config = config
+        self.config = config = config if config is not None else PredictorConfig()
         rng = new_rng(("cdmpp-predictor", seed))
 
         self.input_proj = Linear(config.feature_dim, config.d_model, rng=rng)

@@ -51,9 +51,12 @@ class Trainer:
         self,
         predictor: Optional[CDMPPPredictor] = None,
         predictor_config: Optional[PredictorConfig] = None,
-        config: TrainingConfig = TrainingConfig(),
+        config: Optional[TrainingConfig] = None,
     ):
-        self.config = config
+        # Constructed per instance: a `config=TrainingConfig()` default would
+        # be evaluated once at def time and shared by every default trainer.
+        self.config = config if config is not None else TrainingConfig()
+        config = self.config
         self.predictor = predictor or CDMPPPredictor(
             predictor_config or PredictorConfig(), seed=config.seed
         )

@@ -155,13 +155,15 @@ def _collect_tasks(config: DatasetConfig) -> Dict[str, List[Task]]:
     return by_model
 
 
-def generate_dataset(config: DatasetConfig = DatasetConfig()) -> TensetDataset:
+def generate_dataset(config: Optional[DatasetConfig] = None) -> TensetDataset:
     """Generate the synthetic Tenset-like dataset described by ``config``.
 
     For every task the same ``schedules_per_task`` random schedules are
     measured on every configured device (schedules are sampled per device
     taxonomy so GPU-style and CPU-style annotations both appear).
     """
+    if config is None:
+        config = DatasetConfig()
     rng = new_rng(config.seed)
     tasks_by_model_name = _collect_tasks(config)
 

@@ -45,6 +45,23 @@ COMPOSE_MODES = ("replay", "serial")
 CostFn = Callable[[List[TensorProgram]], Dict[str, float]]
 
 
+def cost_fn_from_model(model, device: Union[str, DeviceSpec]) -> CostFn:
+    """Adapt anything with ``predict_programs(programs, device)`` into a cost_fn.
+
+    Any :class:`repro.backends.CostModel` (CDMPP or a baseline) qualifies, so
+    the replayer can be driven by every backend through one code path.
+    """
+
+    def cost_fn(programs: List[TensorProgram]) -> Dict[str, float]:
+        predictions = model.predict_programs(programs, device)
+        return {
+            program.task.workload_key: float(value)
+            for program, value in zip(programs, predictions)
+        }
+
+    return cost_fn
+
+
 def _split_for_accelerator(dfg: TIRDataFlowGraph, device: DeviceSpec) -> TIRDataFlowGraph:
     """Split contraction nodes into per-engine sub-operators on accelerators."""
     engines = max(int(device.gemm_engines), 1)
@@ -145,11 +162,18 @@ def predict_end_to_end(
     ``cost_fn`` receives the unique tensor programs of the model's DFG and
     returns predicted latency (seconds) keyed by workload key; the cost model
     is therefore queried only once per unique TIR kernel, as in the paper.
-    ``compose`` picks the composition mode (see :func:`compose_latencies`).
+    Instead of a callable, any :class:`repro.backends.CostModel` may be
+    passed directly (adapted via :func:`cost_fn_from_model`).  ``compose``
+    picks the composition mode (see :func:`compose_latencies`).
     """
     from repro.graph.zoo import build_model
 
     device = get_device(device) if isinstance(device, str) else device
+    if not callable(cost_fn) and hasattr(cost_fn, "predict_programs"):
+        from repro.backends import ensure_model_level
+
+        ensure_model_level(cost_fn, ReplayError)
+        cost_fn = cost_fn_from_model(cost_fn, device)
     graph = model if isinstance(model, ModelGraph) else build_model(model)
     dfg = build_dfg(graph, target_kind=device.taxonomy, seed=seed)
     unique = dfg.unique_programs()

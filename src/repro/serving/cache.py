@@ -10,7 +10,8 @@ forward pass.  The serving layer therefore caches at two levels:
   query skips the predictor forward pass too.
 
 Both are keyed by :func:`program_cache_key`.  The issue-level key is
-``(workload_key, device, max_leaves)``; because two *different* schedules of
+``(workload_key, device, cache_signature)`` where the signature identifies
+the serving backend's feature space; because two *different* schedules of
 the same task share a workload key (see ``CDMPP.predict_latencies``), the key
 additionally folds in a stable fingerprint of the schedule so distinct
 kernels never alias in the cache.
@@ -25,7 +26,7 @@ from repro.devices.spec import DeviceSpec
 from repro.tir.program import TensorProgram
 from repro.utils.rng import stable_hash
 
-CacheKey = Tuple[str, int, str, int]
+CacheKey = Tuple[str, int, str, Hashable]
 
 _MISSING = object()
 
@@ -43,15 +44,22 @@ def schedule_fingerprint(program: TensorProgram) -> int:
 def program_cache_key(
     program: TensorProgram,
     device: Union[str, DeviceSpec],
-    max_leaves: int,
+    signature: Hashable,
 ) -> CacheKey:
-    """Cache key of one (program, device) query at a given padding width."""
+    """Cache key of one (program, device) query for one feature space.
+
+    ``signature`` is the serving model's feature-space tag — historically the
+    Compact-AST padding width (an ``int``, still accepted), today any
+    hashable :attr:`repro.backends.CostModel.cache_signature` — so queries
+    answered by different backends (or differently-padded CDMPP models)
+    never alias in the cache.
+    """
     device_name = device if isinstance(device, str) else device.name
     return (
         program.task.workload_key,
         schedule_fingerprint(program),
         device_name,
-        int(max_leaves),
+        signature,
     )
 
 

@@ -39,6 +39,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backends import ensure_model_level
 from repro.devices.spec import ACCEL, DeviceSpec, get_device
 from repro.errors import ServingError
 from repro.graph.dfg import TIRDataFlowGraph
@@ -103,11 +104,14 @@ class FleetStats:
 class FleetService:
     """Serve whole-model latency queries across a fleet of devices.
 
-    ``models`` maps device names to fitted models (``CDMPP``/``Trainer``;
-    ``"*"`` is the any-device fallback).  All devices are served by one
-    internal :class:`PredictionService` so kernel queries micro-batch across
-    devices; devices passing the *same* model object share one predictor
-    group and therefore one vectorized call per flush.
+    ``models`` maps device names to fitted models — any
+    :class:`repro.backends.CostModel` backend, the legacy
+    ``CDMPP``/``Trainer`` entry points or a raw baseline; ``"*"`` is the
+    any-device fallback, and different devices may be served by different
+    backends.  All devices are served by one internal
+    :class:`PredictionService` so kernel queries micro-batch across devices;
+    devices passing the *same* model object share one predictor group and
+    therefore one vectorized call per flush.
     """
 
     def __init__(
@@ -209,7 +213,8 @@ class FleetService:
                 seen.add(spec.name)
                 specs.append(spec)
         for spec in specs:
-            self._service.model_for(spec)  # raises ServingError when unservable
+            backend = self._service.model_for(spec)  # raises ServingError when unservable
+            ensure_model_level(backend, ServingError, device=spec.name)
         return specs
 
     def _partition(

@@ -1,11 +1,18 @@
 """Checkpoint-backed model registry.
 
-A :class:`ModelRegistry` is a directory of named ``.npz`` checkpoints written
-through :mod:`repro.core.persistence`.  It is how the CLI's ``train`` /
-``query`` / ``serve`` subcommands share pre-trained cost models across
-processes: train once, register under a name (conventionally
-``"<device>-<scale>"``), and every later invocation loads instead of
-retraining.
+A :class:`ModelRegistry` is a directory of named ``.npz`` checkpoints.  It is
+how the CLI's ``train`` / ``query`` / ``serve`` subcommands share pre-trained
+cost models across processes: train once, register under a name
+(conventionally ``"<device>-<scale>"``), and every later invocation loads
+instead of retraining.
+
+Checkpoints are **backend-tagged**: any :class:`repro.backends.CostModel`
+(the CDMPP trainer or any baseline) can be registered, and :meth:`load`
+dispatches on the tag through :func:`repro.backends.load_backend`.  Legacy
+untagged trainer checkpoints keep loading as the ``"cdmpp"`` backend, and —
+for backward compatibility with every pre-protocol caller — CDMPP
+checkpoints load as a plain :class:`repro.core.trainer.Trainer` (which every
+protocol consumer adapts via :func:`repro.backends.as_cost_model`).
 """
 
 from __future__ import annotations
@@ -14,12 +21,17 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.backends import CostModel, as_cost_model, backend_of_checkpoint, load_backend
 from repro.core.persistence import load_trainer, read_meta, save_trainer
 from repro.core.trainer import Trainer
 from repro.errors import TrainingError
 from repro.version import __version__
 
 PathLike = Union[str, Path]
+
+#: What load() returns: a Trainer for cdmpp checkpoints (back-compat), a
+#: CostModel backend for everything else.
+LoadedModel = Union[Trainer, CostModel]
 
 _SUFFIX = ".npz"
 
@@ -40,8 +52,8 @@ class ModelRegistry:
 
     def __init__(self, root: Optional[PathLike] = None):
         self.root = Path(root) if root is not None else default_registry_root()
-        # (name, checkpoint mtime) -> loaded trainer, for load_shared().
-        self._load_cache: Dict[tuple, Trainer] = {}
+        # (name, checkpoint mtime) -> loaded model, for load_shared().
+        self._load_cache: Dict[tuple, LoadedModel] = {}
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -66,32 +78,53 @@ class ModelRegistry:
         """Checkpoint metadata (configs + registry annotations), weights untouched."""
         return read_meta(self.path_for(name))
 
+    def backend_of(self, name: str) -> str:
+        """Backend tag of a registered checkpoint (``"cdmpp"`` when untagged)."""
+        return backend_of_checkpoint(self.path_for(name))
+
     # ------------------------------------------------------------------
     # Save / load
     # ------------------------------------------------------------------
-    def save(self, name: str, trainer: Trainer, **annotations) -> Path:
-        """Register a fitted trainer under ``name``.
+    def save(self, name: str, model: Union[Trainer, CostModel, object], **annotations) -> Path:
+        """Register a fitted cost model under ``name``.
 
-        Keyword ``annotations`` (device, scale, ...) are stored in the
-        checkpoint metadata and come back through :meth:`describe`.
+        ``model`` is a fitted :class:`Trainer`, any :class:`CostModel`
+        backend, the ``CDMPP`` facade or a raw baseline — anything
+        :func:`repro.backends.as_cost_model` accepts.  Keyword
+        ``annotations`` (device, scale, ...) are stored in the checkpoint
+        metadata and come back through :meth:`describe`.
         """
         extra = {"registry_name": name, "version": __version__, **annotations}
-        return save_trainer(trainer, self.path_for(name), extra_meta=extra)
+        path = self.path_for(name)
+        if isinstance(model, Trainer):
+            return save_trainer(model, path, extra_meta=extra)
+        return as_cost_model(model).save(path, extra_meta=extra)
 
-    def load(self, name: str) -> Trainer:
-        """Load a registered trainer, ready to answer queries."""
+    def load(self, name: str) -> LoadedModel:
+        """Load a registered cost model, ready to answer queries.
+
+        Dispatches on the checkpoint's backend tag: CDMPP checkpoints
+        (tagged or legacy untagged) come back as a :class:`Trainer`, other
+        backends as their :class:`CostModel`.
+        """
         path = self.path_for(name)
         if not path.exists():
             available = ", ".join(self.list()) or "<registry is empty>"
             raise TrainingError(f"no model {name!r} in registry {self.root} (available: {available})")
-        return load_trainer(path)
+        if backend_of_checkpoint(path) == "cdmpp":
+            return load_trainer(path)
+        return load_backend(path)
 
-    def load_shared(self, name: str) -> Trainer:
-        """Load a registered trainer, memoized per (name, checkpoint mtime).
+    def load_model(self, name: str) -> CostModel:
+        """Load a registered checkpoint as a :class:`CostModel`, whatever its backend."""
+        return as_cost_model(self.load(name))
+
+    def load_shared(self, name: str) -> LoadedModel:
+        """Load a registered model, memoized per (name, checkpoint mtime).
 
         A fleet that serves the same checkpoint on several devices (CDMPP's
         cross-device speciality) calls this once per device; every call after
-        the first returns the *same* trainer object, so the devices share one
+        the first returns the *same* model object, so the devices share one
         set of weights in memory and their queries batch into one predictor
         call.  A re-registered checkpoint (new mtime) is reloaded.
         """
@@ -99,16 +132,24 @@ class ModelRegistry:
         if not path.exists():
             return self.load(name)  # raises with the standard message
         key = (name, path.stat().st_mtime_ns)
-        trainer = self._load_cache.get(key)
-        if trainer is None:
-            trainer = self._load_cache[key] = self.load(name)
+        model = self._load_cache.get(key)
+        if model is None:
+            model = self._load_cache[key] = self.load(name)
             # Drop stale mtimes of the same name so the cache stays bounded.
             for stale in [k for k in self._load_cache if k[0] == name and k != key]:
                 del self._load_cache[stale]
-        return trainer
+        return model
 
     def delete(self, name: str) -> bool:
-        """Remove a registered model; returns whether it existed."""
+        """Remove a registered model; returns whether it existed.
+
+        The name is also evicted from the ``load_shared`` cache: deleting
+        then re-registering under the same name must never hand callers the
+        dead model, even if the new checkpoint's mtime collides with the old
+        one's.
+        """
+        for stale in [k for k in self._load_cache if k[0] == name]:
+            del self._load_cache[stale]
         path = self.path_for(name)
         if path.exists():
             path.unlink()

@@ -1,22 +1,26 @@
-"""Micro-batched, cached latency-prediction serving.
+"""Micro-batched, cached latency-prediction serving for any backend.
 
 The one-shot :class:`repro.core.api.CDMPP` facade featurizes and runs the
 predictor from scratch on every call.  A :class:`PredictionService` turns a
-set of trained models into a long-lived service in the "train once, query
-many" regime the paper targets (and that TLP-style tuners exercise when they
-score thousands of candidate schedules per round):
+set of trained cost models — **any** :class:`repro.backends.CostModel`
+backend: CDMPP, XGBoost, TLP, Habitat, Tiramisu — into a long-lived service
+in the "train once, query many" regime the paper targets (and that TLP-style
+tuners exercise when they score thousands of candidate schedules per round):
 
 * **micro-batching** — queries are enqueued with :meth:`submit` and executed
-  by :meth:`flush` as one vectorized ``Trainer.predict`` call per model, so
-  per-query Python and predictor overhead is amortized across the batch;
-* **feature cache** — the one-row :class:`FeatureSet` of each distinct
-  (program, device) query is kept in an LRU, so repeats skip
-  ``featurize_programs`` (the dominant per-query cost);
-* **prediction cache** — final latencies are kept in a second LRU, so exact
-  repeats skip the predictor entirely;
+  by :meth:`flush` as one vectorized backend call per model, so per-query
+  Python and predictor overhead is amortized across the batch;
+* **feature cache** — backends that expose the ``featurize_rows`` /
+  ``predict_rows`` fast path (the CDMPP transformer, whose featurization
+  dominates per-query cost) get their per-(program, device) feature rows
+  cached in an LRU, so repeats skip featurization; other backends featurize
+  internally and skip this tier;
+* **prediction cache** — final latencies are kept in a second LRU keyed per
+  backend feature space (``CostModel.cache_signature``), so exact repeats
+  skip the predictor entirely and different backends never alias;
 * **model registry integration** — services are built straight from
-  :class:`repro.serving.registry.ModelRegistry` checkpoints, never retraining
-  in the serving process.
+  :class:`repro.serving.registry.ModelRegistry` checkpoints (whatever
+  backend wrote them), never retraining in the serving process.
 
 The service is deliberately synchronous and single-threaded; sharded and
 async front-ends can wrap it without changing the batching core.
@@ -30,29 +34,31 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.api import CDMPP
+from repro.backends import CostModel, as_cost_model, ensure_model_level
+from repro.core.api import CDMPP, EndToEndPrediction
 from repro.core.trainer import Trainer
 from repro.devices.spec import DeviceSpec
-from repro.errors import ServingError
-from repro.features.pipeline import FeatureSet, featurize_programs
+from repro.errors import ServingError, TrainingError
 from repro.serving.cache import CacheKey, LRUCache, program_cache_key
 from repro.tir.program import TensorProgram
 
-ModelLike = Union[CDMPP, Trainer]
+ModelLike = Union[CDMPP, Trainer, CostModel, object]
 
 DEFAULT_DEVICE = "*"
 
 
-def _as_cdmpp(model: ModelLike) -> CDMPP:
-    if isinstance(model, CDMPP):
-        if not getattr(model.trainer, "_fitted", False):
-            raise ServingError("PredictionService needs a fitted model (call pretrain first)")
-        return model
-    if isinstance(model, Trainer):
-        if not getattr(model, "_fitted", False):
-            raise ServingError("PredictionService needs a fitted trainer")
-        return CDMPP.from_trainer(model)
-    raise ServingError(f"expected CDMPP or Trainer, got {type(model).__name__}")
+def _as_serving_model(model: ModelLike) -> CostModel:
+    """Adapt ``model`` onto the CostModel protocol, requiring it to be fitted."""
+    try:
+        cost_model = as_cost_model(model)
+    except TrainingError as error:
+        raise ServingError(str(error)) from error
+    if not cost_model.fitted:
+        raise ServingError(
+            f"PredictionService needs a fitted model, got an unfitted "
+            f"{cost_model.backend!r} backend (train it first)"
+        )
+    return cost_model
 
 
 class PendingPrediction:
@@ -108,10 +114,13 @@ class ServingStats:
 class PredictionService:
     """Serve latency queries from trained cost models with batching + caching.
 
-    ``models`` is either a single fitted :class:`CDMPP`/:class:`Trainer`
-    (CDMPP is device-agnostic, so one cross-device model can serve every
-    device) or a mapping from device name to a per-device model; the entry
-    under ``"*"`` acts as the fallback for unlisted devices.
+    ``models`` is either a single fitted model (CDMPP is device-agnostic, so
+    one cross-device model can serve every device) or a mapping from device
+    name to a per-device model; the entry under ``"*"`` acts as the fallback
+    for unlisted devices.  Every model is adapted onto the
+    :class:`repro.backends.CostModel` protocol, so different devices may be
+    served by entirely different backends (one device on CDMPP, another on
+    XGBoost) behind the same batching and caching contracts.
     """
 
     def __init__(
@@ -127,15 +136,15 @@ class PredictionService:
         if isinstance(models, Mapping):
             if not models:
                 raise ServingError("PredictionService needs at least one model")
-            # Devices handing in the same model object share one facade, so
+            # Devices handing in the same model object share one adapter, so
             # their queries land in one batch group at flush time.
-            facades: Dict[int, CDMPP] = {}
-            self._models: Dict[str, CDMPP] = {
-                name: facades.setdefault(id(model), _as_cdmpp(model))
+            adapters: Dict[int, CostModel] = {}
+            self._models: Dict[str, CostModel] = {
+                name: adapters.setdefault(id(model), _as_serving_model(model))
                 for name, model in models.items()
             }
         else:
-            self._models = {DEFAULT_DEVICE: _as_cdmpp(models)}
+            self._models = {DEFAULT_DEVICE: _as_serving_model(models)}
         if max_batch_size <= 0:
             raise ServingError(f"max_batch_size must be positive, got {max_batch_size}")
         self.max_batch_size = int(max_batch_size)
@@ -160,7 +169,7 @@ class PredictionService:
         names: Union[str, Mapping[str, str]],
         **kwargs,
     ) -> "PredictionService":
-        """Build a service from registry checkpoints.
+        """Build a service from registry checkpoints (any backend).
 
         ``names`` is either one checkpoint name (shared cross-device model)
         or a mapping from device name to checkpoint name.
@@ -174,7 +183,7 @@ class PredictionService:
         """Sorted device names with a dedicated model (``"*"`` = fallback)."""
         return sorted(self._models)
 
-    def model_for(self, device: Union[str, DeviceSpec]) -> CDMPP:
+    def model_for(self, device: Union[str, DeviceSpec]) -> CostModel:
         """The model that serves ``device`` (exact entry, else the fallback)."""
         name = device if isinstance(device, str) else device.name
         model = self._models.get(name) or self._models.get(DEFAULT_DEVICE)
@@ -189,9 +198,10 @@ class PredictionService:
         """Install (or replace) the model serving ``device``.
 
         Cached *predictions* are dropped — they were produced by the old
-        weights — but cached *features* are kept: featurization does not
-        depend on the model, only on ``max_leaves``, so a fine-tuned
-        replacement with the same architecture reuses them for free.
+        weights — but cached *features* are kept: a feature row only depends
+        on the backend's feature space (``cache_signature``), so a
+        fine-tuned replacement with the same architecture reuses them for
+        free.
 
         With a device-sharded prediction cache only the swapped device's
         shard is invalidated (unless the device is the ``"*"`` fallback,
@@ -199,15 +209,13 @@ class PredictionService:
         """
         if self._queue:
             self.flush()
-        # Reuse the facade of a model already serving another device, so the
+        # Reuse the adapter of a model already serving another device, so the
         # one-predictor-call-per-distinct-model batch grouping is preserved.
-        facade = None
-        if not isinstance(model, CDMPP):
-            facade = next(
-                (existing for existing in self._models.values() if existing.trainer is model),
-                None,
-            )
-        self._models[device] = facade if facade is not None else _as_cdmpp(model)
+        adapter = next(
+            (existing for existing in self._models.values() if existing.wraps(model)),
+            None,
+        )
+        self._models[device] = adapter if adapter is not None else _as_serving_model(model)
         invalidate_device = getattr(self.prediction_cache, "invalidate_device", None)
         if invalidate_device is not None and device != DEFAULT_DEVICE:
             invalidate_device(device)
@@ -228,7 +236,7 @@ class PredictionService:
         """
         device_name = device if isinstance(device, str) else device.name
         model = self.model_for(device_name)
-        key = program_cache_key(program, device_name, model.predictor_config.max_leaves)
+        key = program_cache_key(program, device_name, model.cache_signature)
         self.stats.queries += 1
 
         ticket = PendingPrediction(self, key, device_name)
@@ -250,13 +258,46 @@ class PredictionService:
             self.flush()
         return ticket
 
+    def _predict_group(self, model: CostModel, queue, keys: List[CacheKey]) -> np.ndarray:
+        """One vectorized backend call for every queued query of one model.
+
+        Backends exposing the ``featurize_rows``/``predict_rows`` fast path
+        go through the per-row feature cache; every other backend answers
+        the group with one ``predict_programs`` call (featurizing
+        internally).
+        """
+        if not hasattr(model, "featurize_rows"):
+            self.stats.programs_featurized += len(keys)
+            return model.predict_programs(
+                [queue[key].program for key in keys],
+                [queue[key].device for key in keys],
+            )
+        rows: List[object] = []
+        missing: List[CacheKey] = []
+        for key in keys:
+            row = self.feature_cache.get(key)
+            rows.append(row)  # placeholder None for misses, filled below
+            if row is None:
+                missing.append(key)
+        if missing:
+            featurized = model.featurize_rows(
+                [queue[key].program for key in missing],
+                [queue[key].device for key in missing],
+            )
+            self.stats.programs_featurized += len(missing)
+            fresh = dict(zip(missing, featurized))
+            for key, row in fresh.items():
+                self.feature_cache.put(key, row)
+            rows = [row if row is not None else fresh[key] for key, row in zip(keys, rows)]
+        return model.predict_rows(rows, chunk_size=self.predict_chunk_size)
+
     def flush(self) -> int:
         """Run every queued query through its model in vectorized batches.
 
         Queries are grouped by owning model; each group is answered by a
-        single ``Trainer.predict`` call (mixed-device groups are featurized
-        with one device per program).  Returns the number of distinct queue
-        entries resolved.
+        single backend call (mixed-device groups are featurized with one
+        device per program).  Returns the number of distinct queue entries
+        resolved.
         """
         if not self._queue:
             return 0
@@ -269,26 +310,7 @@ class PredictionService:
 
         for keys in groups.values():
             model = self.model_for(queue[keys[0]].device)
-            rows: List[FeatureSet] = []
-            missing: List[CacheKey] = []
-            for key in keys:
-                row = self.feature_cache.get(key)
-                rows.append(row)  # placeholder None for misses, filled below
-                if row is None:
-                    missing.append(key)
-            if missing:
-                featurized = featurize_programs(
-                    [queue[key].program for key in missing],
-                    [queue[key].device for key in missing],
-                    max_leaves=model.predictor_config.max_leaves,
-                )
-                self.stats.programs_featurized += len(missing)
-                fresh = {key: featurized.subset([i]) for i, key in enumerate(missing)}
-                for key, row in fresh.items():
-                    self.feature_cache.put(key, row)
-                rows = [row if row is not None else fresh[key] for key, row in zip(keys, rows)]
-            batch = rows[0] if len(rows) == 1 else FeatureSet.concatenate(rows)
-            predictions = model.trainer.predict(batch, batch_size=self.predict_chunk_size)
+            predictions = self._predict_group(model, queue, keys)
             self.stats.batches += 1
             self.stats.predictions_computed += len(keys)
             for key, value in zip(keys, predictions):
@@ -322,18 +344,24 @@ class PredictionService:
         batch_size: int = 1,
         seed: Union[int, str, None] = 0,
         compose: str = "replay",
-    ):
+    ) -> EndToEndPrediction:
         """End-to-end model latency through the replayer, cost from this service.
 
         Same contract as :meth:`repro.core.api.CDMPP.predict_model`, but every
         per-kernel cost query goes through the batch-and-cache path, so
         repeated whole-model queries (capacity planning sweeps, placement
-        search) reuse each other's kernels.
+        search) reuse each other's kernels.  Works with any serving backend
+        whose Table 1 row claims model-level support; op-level-only backends
+        (e.g. Tiramisu) are refused instead of silently mis-served.
         """
         from repro.devices.spec import get_device
+        from repro.graph.model import ModelGraph
+        from repro.graph.zoo import build_model
+        from repro.replay.e2e import predict_end_to_end
 
         device_spec = get_device(device) if isinstance(device, str) else device
-        facade = self.model_for(device_spec)
+        backend = self.model_for(device_spec)
+        ensure_model_level(backend, ServingError)
 
         def cost_fn(programs: List[TensorProgram]) -> Dict[str, float]:
             values = self.predict(programs, device_spec)
@@ -342,9 +370,16 @@ class PredictionService:
                 for program, value in zip(programs, values)
             }
 
-        return facade.predict_model(
-            model, device_spec, batch_size=batch_size, seed=seed, cost_fn=cost_fn,
-            compose=compose,
+        graph = model if isinstance(model, ModelGraph) else build_model(model, batch_size=batch_size)
+        outcome = predict_end_to_end(
+            graph, device_spec, cost_fn=cost_fn, seed=seed, compose=compose
+        )
+        return EndToEndPrediction(
+            model=graph.name,
+            device=device_spec.name,
+            predicted_latency_s=outcome.iteration_time_s,
+            per_program_latency_s=dict(outcome.durations),
+            num_nodes=len(graph),
         )
 
     # ------------------------------------------------------------------

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Smoke-check the code blocks in README.md and docs/*.md so examples can't rot.
+"""Smoke-check doc code blocks and example scripts so they can't rot.
 
-For every fenced ``python`` block the script:
+For every fenced ``python`` block in README.md / docs/*.md, and for every
+script under examples/, the script:
 
-* compiles the block (syntax errors fail the check), and
-* imports every top-level module the block imports (a renamed or deleted
-  ``repro`` module fails the check).
+* compiles the source (syntax errors fail the check), and
+* imports every top-level module it imports, verifying `from x import y`
+  names exist (a renamed or deleted ``repro`` symbol fails the check).
 
 Blocks fenced as ``text``/``bash``/anything else are ignored, so illustrative
 snippets that are not runnable Python must not be labelled ``python``.
@@ -93,11 +94,21 @@ def main() -> int:
         for line, source in iter_python_blocks(path):
             blocks += 1
             errors.extend(check_block(path, line, source))
+    # Example scripts are documentation too: compile + import-check each one.
+    examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+    if not examples:
+        errors.append(f"no example scripts found under {REPO_ROOT / 'examples'}")
+    for path in examples:
+        blocks += 1
+        errors.extend(check_block(path, 1, path.read_text()))
     if errors:
         print("\n".join(errors), file=sys.stderr)
         print(f"\n{len(errors)} problem(s) in {blocks} python block(s)", file=sys.stderr)
         return 1
-    print(f"checked {blocks} python block(s) across {len(paths)} file(s): all good")
+    print(
+        f"checked {blocks} python block(s) across {len(paths)} doc file(s) "
+        f"and {len(examples)} example(s): all good"
+    )
     return 0
 
 
