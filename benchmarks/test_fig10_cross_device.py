@@ -39,7 +39,8 @@ def fig10_results(bench_dataset, device_splits, gpu_source_cdmpp):
             source_valid = [r for s in combo["sources"] for r in device_splits[s].valid]
             trainer, _, source_train_fs = train_cdmpp(source_train, source_valid)
 
-        state_backup = trainer.predictor.state_dict()
+        # cross_device_adaptation fine-tunes a detached clone, so the shared
+        # fixture's trainer stays reusable without a state backup.
         adaptation = cross_device_adaptation(
             trainer,
             source_train=source_train_fs,
@@ -51,7 +52,6 @@ def fig10_results(bench_dataset, device_splits, gpu_source_cdmpp):
             seed=BENCH_SEED,
         )
         cdmpp_mape = adaptation.metrics_after["mape"]
-        trainer.predictor.load_state_dict(state_backup)  # keep the shared fixture reusable
 
         # TLP baseline: trained on the source devices' records, evaluated on
         # the target's absolute latencies.

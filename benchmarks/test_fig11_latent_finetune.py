@@ -23,9 +23,9 @@ def fig11_results(gpu_source_cdmpp, device_splits):
     target_records = device_splits["epyc-7452"].train
     target_fs = featurize_records(target_records, max_leaves=BENCH_PREDICTOR.max_leaves)
 
-    def snapshot():
-        source_latent = trainer.latent(source_fs)
-        target_latent = trainer.latent(target_fs)
+    def snapshot(model):
+        source_latent = model.latent(source_fs)
+        target_latent = model.latent(target_fs)
         projection = pca_project(np.vstack([source_latent, target_latent]), dim=2)
         labels = np.array([0] * len(source_latent) + [1] * len(target_latent))
         return {
@@ -33,11 +33,12 @@ def fig11_results(gpu_source_cdmpp, device_splits):
             "overlap": domain_overlap(projection, labels, k=5),
         }
 
-    state_backup = trainer.predictor.state_dict()
-    before = snapshot()
-    FineTuner(trainer).finetune(source_fs, target_fs, epochs=BENCH_FINETUNE_EPOCHS, alpha=2.0)
-    after = snapshot()
-    trainer.predictor.load_state_dict(state_backup)
+    before = snapshot(trainer)
+    # Fine-tuning clones the shared fixture's trainer, so no state backup /
+    # restore is needed to keep it reusable.
+    finetuner = FineTuner(trainer)
+    finetuner.finetune(source_fs, target_fs, epochs=BENCH_FINETUNE_EPOCHS, alpha=2.0)
+    after = snapshot(finetuner.trainer)
     return {"before": before, "after": after}
 
 

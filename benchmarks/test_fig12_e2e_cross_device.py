@@ -54,7 +54,7 @@ def fig12_results(bench_dataset, device_splits):
 
         splits = target_records[target]
         target_test = featurize_records(splits.test, max_leaves=BENCH_PREDICTOR.max_leaves)
-        cross_device_adaptation(
+        adaptation = cross_device_adaptation(
             trainer,
             source_train=source_fs,
             target_records=splits.train,
@@ -63,10 +63,11 @@ def fig12_results(bench_dataset, device_splits):
             epochs=BENCH_FINETUNE_EPOCHS,
             seed=BENCH_SEED,
         )
+        adapted = adaptation.adapted_trainer  # fine-tuning never mutates `trainer`
 
         def cdmpp_cost(programs):
             features = featurize_programs(programs, target, max_leaves=BENCH_PREDICTOR.max_leaves)
-            return dict(zip(features.task_keys, trainer.predict(features)))
+            return dict(zip(features.task_keys, adapted.predict(features)))
 
         habitat = HabitatCostModel(target_device=target, source_device=sources[0], seed=BENCH_SEED)
         habitat.fit([r for s in sources for r in device_splits[s].train])

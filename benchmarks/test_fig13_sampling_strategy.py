@@ -24,13 +24,13 @@ def fig13_results(gpu_source_cdmpp, device_splits):
     source_fs = gpu_source_cdmpp["train_features"]
     target_splits = device_splits["t4"]
     target_test = featurize_records(target_splits.test, max_leaves=BENCH_PREDICTOR.max_leaves)
-    state_backup = trainer.predictor.state_dict()
 
     rows = []
     for budget in TASK_BUDGETS:
         row = {"num_tasks": budget}
         for strategy in ("kmeans", "random"):
-            trainer.predictor.load_state_dict(state_backup)
+            # Each run fine-tunes its own detached clone, so the shared
+            # fixture's trainer needs no state backup between strategies.
             result = cross_device_adaptation(
                 trainer,
                 source_train=source_fs,
@@ -43,7 +43,6 @@ def fig13_results(gpu_source_cdmpp, device_splits):
             )
             row[f"{strategy}_mape"] = result.metrics_after["mape"]
         rows.append(row)
-    trainer.predictor.load_state_dict(state_backup)
     return rows
 
 

@@ -35,13 +35,13 @@ def fig7_results(bench_dataset):
             holdout_fs = featurize_records(splits.holdout, max_leaves=BENCH_PREDICTOR.max_leaves)
 
             before = trainer.evaluate(holdout_fs)["mape"]
-            finetuner = FineTuner(trainer)
+            finetuner = FineTuner(trainer)  # fine-tunes a detached clone
             finetuner.finetune(
                 source=train_fs,
                 target=holdout_fs,
                 epochs=BENCH_FINETUNE_EPOCHS,
             )
-            after = trainer.evaluate(holdout_fs)["mape"]
+            after = finetuner.trainer.evaluate(holdout_fs)["mape"]
 
             xgb = XGBoostCostModel(n_estimators=50, seed=BENCH_SEED)
             xgb.fit(splits.train)

@@ -27,9 +27,9 @@ def fig8_results(bench_dataset):
     trainer, _, train_fs = train_cdmpp(splits.train, splits.valid)
     target_fs = featurize_records(splits.holdout, max_leaves=BENCH_PREDICTOR.max_leaves)
 
-    def snapshot():
-        source_latent = trainer.latent(train_fs)
-        target_latent = trainer.latent(target_fs)
+    def snapshot(model):
+        source_latent = model.latent(train_fs)
+        target_latent = model.latent(target_fs)
         combined = np.vstack([source_latent, target_latent])
         labels = np.array([0] * len(source_latent) + [1] * len(target_latent))
         projection = pca_project(combined, dim=2)
@@ -38,9 +38,10 @@ def fig8_results(bench_dataset):
             "overlap": domain_overlap(projection, labels, k=5),
         }
 
-    before = snapshot()
-    FineTuner(trainer).finetune(train_fs, target_fs, epochs=BENCH_FINETUNE_EPOCHS, alpha=2.0)
-    after = snapshot()
+    before = snapshot(trainer)
+    finetuner = FineTuner(trainer)  # fine-tunes a detached clone
+    finetuner.finetune(train_fs, target_fs, epochs=BENCH_FINETUNE_EPOCHS, alpha=2.0)
+    after = snapshot(finetuner.trainer)
     return {"before": before, "after": after, "network": network}
 
 

@@ -1,0 +1,139 @@
+"""Onboarding throughput and accuracy: growing a fleet by one device.
+
+The deployment loop the adaptation subsystem exists for: a fleet serves a
+cross-device checkpoint, a new device arrives, and
+:class:`repro.adaptation.OnboardingPipeline` clones the pre-trained model,
+profiles only κ KMeans-selected tasks (Algorithm 1) on the newcomer and
+CMD-regularize-finetunes the clone (Eq. 7).  This benchmark records what the
+paper's Fig. 10/13 story promises in serving terms:
+
+* adapted MAPE on the target device beats zero-shot MAPE (asserted),
+* the parent model's weights stay bit-identical through onboarding
+  (asserted — the shared-checkpoint-corruption regression),
+* onboarding wall time is split into profiling vs fine-tuning, and the
+  profiling cost is bounded by the measurement budget.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import print_table, run_once
+from repro.adaptation import OnboardingPipeline
+from repro.core.config import TrainingConfig
+from repro.core.scale import get_scale
+from repro.core.trainer import Trainer
+from repro.dataset.splits import split_dataset
+from repro.dataset.tenset import DatasetConfig, generate_dataset
+from repro.features.pipeline import featurize_records
+
+SOURCE_DEVICE = "t4"
+TARGET_DEVICE = "epyc-7452"  # GPU -> CPU, the hardest Fig. 10 combination
+KAPPA = 8
+SCHEDULES_PER_TASK = 4
+FINETUNE_EPOCHS = 8
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def onboarding_setup():
+    """A source-device predictor plus the data a new device would be onboarded with."""
+    scale = get_scale("tiny")
+    dataset = generate_dataset(
+        DatasetConfig(devices=(SOURCE_DEVICE, TARGET_DEVICE), seed=SEED, **scale.dataset_kwargs())
+    )
+    source_splits = split_dataset(dataset.records(SOURCE_DEVICE), seed=SEED)
+    target_splits = split_dataset(dataset.records(TARGET_DEVICE), seed=SEED)
+
+    trainer = Trainer(
+        predictor_config=scale.predictor_config(),
+        config=TrainingConfig(epochs=20, batch_size=scale.batch_size, seed=SEED),
+    )
+    source_train = featurize_records(source_splits.train, max_leaves=trainer.max_leaves)
+    trainer.fit(
+        source_train, featurize_records(source_splits.valid, max_leaves=trainer.max_leaves)
+    )
+    target_test = featurize_records(target_splits.test, max_leaves=trainer.max_leaves)
+    return {
+        "dataset": dataset,
+        "trainer": trainer,
+        "source_train": source_train,
+        "target_test": target_test,
+    }
+
+
+def test_onboarding_improves_over_zero_shot(benchmark, onboarding_setup):
+    trainer = onboarding_setup["trainer"]
+    weights_before = {k: v.copy() for k, v in trainer.predictor.state_dict().items()}
+
+    def onboard():
+        start = time.perf_counter()
+        pipeline = OnboardingPipeline(trainer, onboarding_setup["source_train"], seed=SEED)
+        result = pipeline.onboard(
+            TARGET_DEVICE,
+            onboarding_setup["dataset"].tasks(),
+            num_tasks=KAPPA,
+            schedules_per_task=SCHEDULES_PER_TASK,
+            epochs=FINETUNE_EPOCHS,
+            patience=None,
+            target_test=onboarding_setup["target_test"],
+        )
+        return result, time.perf_counter() - start
+
+    result, wall_seconds = run_once(benchmark, onboard)
+
+    rows = [
+        {
+            "stage": "zero-shot",
+            "mape": result.zero_shot["mape"],
+            "rmse_ms": result.zero_shot["rmse"] * 1e3,
+            "records": 0,
+            "seconds": 0.0,
+        },
+        {
+            "stage": "adapted",
+            "mape": result.adapted["mape"],
+            "rmse_ms": result.adapted["rmse"] * 1e3,
+            "records": result.profiled_records,
+            "seconds": wall_seconds,
+        },
+    ]
+    print_table(
+        f"Onboarding {TARGET_DEVICE} from a {SOURCE_DEVICE}-trained model "
+        f"(kappa={KAPPA}, {result.profiled_records} profiled records)",
+        rows,
+        ["stage", "mape", "rmse_ms", "records", "seconds"],
+    )
+    print(
+        f"profiling {result.profiling_seconds:.3f}s, fine-tuning "
+        f"{result.finetune.train_seconds:.3f}s "
+        f"(best epoch {result.finetune.best_epoch}), "
+        f"latent CMD {result.cmd_before:.4f} -> {result.cmd_after:.4f}"
+    )
+
+    # The headline contract: adaptation beats zero-shot on the new device.
+    assert result.adapted["mape"] < result.zero_shot["mape"]
+    # Profiling respected the implicit kappa x schedules budget.
+    assert result.profiled_records <= KAPPA * SCHEDULES_PER_TASK
+    # The parent model served to the rest of the fleet was never touched.
+    weights_after = trainer.predictor.state_dict()
+    assert all(np.array_equal(weights_before[k], weights_after[k]) for k in weights_before)
+
+
+def test_onboarding_budget_caps_profiling(onboarding_setup):
+    """A tight measurement budget bounds profiling cost, dropping whole tasks."""
+    pipeline = OnboardingPipeline(
+        onboarding_setup["trainer"], onboarding_setup["source_train"], seed=SEED
+    )
+    budget = KAPPA * SCHEDULES_PER_TASK // 4
+    result = pipeline.onboard(
+        TARGET_DEVICE,
+        onboarding_setup["dataset"].tasks(),
+        num_tasks=KAPPA,
+        schedules_per_task=SCHEDULES_PER_TASK,
+        max_measurements=budget,
+        epochs=1,
+    )
+    assert result.profiled_records <= budget
+    assert result.profiling_budget == budget

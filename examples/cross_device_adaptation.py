@@ -54,10 +54,10 @@ def main() -> None:
           f"{trainer.evaluate(target_test)['mape'] * 100:.1f}% MAPE")
 
     print(f"[3/4] adapting to {args.target} with KMeans task sampling (κ={args.num_tasks}) ...")
+    # Each run fine-tunes a detached clone (CrossDeviceResult.adapted_trainer),
+    # so the pre-trained model is reused as-is between strategies.
     results = {}
-    state = trainer.predictor.state_dict()
     for strategy in ("kmeans", "random"):
-        trainer.predictor.load_state_dict(state)
         outcome = cross_device_adaptation(
             trainer,
             source_train=source_train,

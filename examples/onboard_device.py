@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Onboard a new device into a live fleet without touching served weights.
+
+The deployment scenario behind `repro.adaptation`:
+
+1. pre-train CDMPP on a source GPU (T4) and register the checkpoint,
+2. serve it to a fleet (the same shared model answers for every device),
+3. a CPU (AMD EPYC) joins: select κ representative tasks on the pre-trained
+   model's latents (Algorithm 1), profile only those on the EPYC, and
+   CMD-regularize-finetune a *detached clone* (Eq. 7),
+4. hot-swap the adapted model in with ``FleetService.onboard_device`` —
+   only the EPYC's prediction-cache shard is invalidated, and the T4 keeps
+   answering from bit-identical weights.
+
+Run with:  python examples/onboard_device.py [--target epyc-7452]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.adaptation import OnboardingPipeline
+from repro.core.config import TrainingConfig
+from repro.core.scale import get_scale
+from repro.core.trainer import Trainer
+from repro.dataset.splits import split_dataset
+from repro.dataset.tenset import DatasetConfig, generate_dataset
+from repro.features.pipeline import featurize_records
+from repro.serving import FleetService
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--source", default="t4", help="device the fleet already serves")
+    parser.add_argument("--target", default="epyc-7452", help="device to onboard")
+    parser.add_argument("--num-tasks", type=int, default=8, help="κ, tasks to profile")
+    parser.add_argument("--epochs", type=int, default=8, help="fine-tuning epochs")
+    args = parser.parse_args()
+    scale = get_scale("tiny")
+
+    print(f"[1/4] generating the dataset ({args.source} + {args.target}) ...")
+    dataset = generate_dataset(
+        DatasetConfig(devices=(args.source, args.target), seed=0, **scale.dataset_kwargs())
+    )
+    source_splits = split_dataset(dataset.records(args.source), seed=0)
+    target_splits = split_dataset(dataset.records(args.target), seed=0)
+
+    print(f"[2/4] pre-training on {args.source} ...")
+    trainer = Trainer(
+        predictor_config=scale.predictor_config(),
+        config=TrainingConfig(epochs=20, batch_size=scale.batch_size, seed=0),
+    )
+    source_train = featurize_records(source_splits.train, max_leaves=trainer.max_leaves)
+    trainer.fit(source_train, featurize_records(source_splits.valid, max_leaves=trainer.max_leaves))
+    target_test = featurize_records(target_splits.test, max_leaves=trainer.max_leaves)
+
+    # The fleet initially serves *both* devices from the one shared model.
+    fleet = FleetService({args.source: trainer, args.target: trainer})
+    served_before = fleet.predict_model("bert_tiny", args.source)
+    weights_before = {k: v.copy() for k, v in trainer.predictor.state_dict().items()}
+
+    print(f"[3/4] onboarding {args.target}: select κ={args.num_tasks} tasks, "
+          "profile, fine-tune a clone ...")
+    pipeline = OnboardingPipeline(trainer, source_train, seed=0)
+    result = pipeline.onboard(
+        args.target,
+        dataset.tasks(),
+        num_tasks=args.num_tasks,
+        epochs=args.epochs,
+        patience=None,
+        target_test=target_test,
+    )
+    print(f"      profiled {result.profiled_records} records on {len(result.selected_tasks)} "
+          f"tasks in {result.profiling_seconds:.2f}s")
+    print(f"      MAPE on {args.target}: {result.zero_shot['mape'] * 100:.1f}% zero-shot "
+          f"-> {result.adapted['mape'] * 100:.1f}% adapted")
+    print(f"      latent CMD: {result.cmd_before:.4f} -> {result.cmd_after:.4f}")
+
+    print(f"[4/4] hot-swapping the adapted model into the fleet ...")
+    fleet.onboard_device(args.target, result)
+
+    weights_after = trainer.predictor.state_dict()
+    assert all(np.array_equal(weights_before[k], weights_after[k]) for k in weights_before), (
+        "the served parent model must stay bit-identical through onboarding"
+    )
+    served_after = fleet.predict_model("bert_tiny", args.source)
+    assert served_after.predicted_latency_s == served_before.predicted_latency_s
+    print(f"      {args.source} still answers bit-identically "
+          f"({served_after.predicted_latency_s * 1e3:.3f} ms); "
+          f"{args.target} now serves the adapted clone")
+    for prediction in fleet.predict_model_fleet("bert_tiny"):
+        print(f"        {prediction.device:12s} {prediction.predicted_latency_s * 1e3:9.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

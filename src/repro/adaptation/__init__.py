@@ -1,0 +1,16 @@
+"""Device onboarding: clone-then-finetune new devices into a live fleet.
+
+:class:`OnboardingPipeline` runs the paper's cross-device adaptation
+(Sec. 5.3, Algorithm 1, Eq. 7) as a production pipeline — select κ tasks on
+the pre-trained model's latents, profile them on the target device under a
+measurement budget, CMD-regularize-finetune a *detached clone* and register
+the adapted model with lineage metadata — without ever mutating the parent
+model a fleet may be serving (``ModelRegistry.load_shared``).  The serving
+side is :meth:`repro.serving.FleetService.onboard_device`, which hot-swaps
+the adapted model in and invalidates only that device's prediction-cache
+shard; the CLI front-end is ``cdmpp onboard``.
+"""
+
+from repro.adaptation.pipeline import STRATEGIES, OnboardingPipeline, OnboardingResult
+
+__all__ = ["STRATEGIES", "OnboardingPipeline", "OnboardingResult"]

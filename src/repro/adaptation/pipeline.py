@@ -1,0 +1,339 @@
+"""Device onboarding: grow a live fleet by one device without retraining.
+
+This module turns Section 5.3 + Algorithm 1 into a production pipeline, the
+loop TLP-style cost models and the TPU learned performance model run when a
+new accelerator generation lands:
+
+1. **select** — κ representative tasks are chosen by KMeans clustering of the
+   *pre-trained* model's latent representations of the candidate tensor
+   programs (Algorithm 1; ``strategy="random"`` is the Fig. 13 baseline);
+2. **profile** — only the selected tasks are measured on the target device,
+   under an optional measurement budget (``max_measurements``), mirroring the
+   paper's premise that profiling is the expensive step;
+3. **fine-tune** — a *detached clone* of the pre-trained model (see
+   :meth:`repro.core.trainer.Trainer.clone`) is optimised with the Eq. 7
+   objective (hybrid supervised loss + α·CMD between source and target
+   latents), with per-epoch validation on held-out profiled records,
+   early stopping and best-state restore;
+4. **report / register** — zero-shot vs adapted error is reported, and the
+   adapted model can be registered as a backend-tagged checkpoint carrying
+   lineage metadata (parent checkpoint, κ, α, strategy, epochs), ready for
+   :meth:`repro.serving.FleetService.onboard_device` to hot-swap in.
+
+The pre-trained model is never mutated: a fleet that serves it through
+``ModelRegistry.load_shared`` on other devices keeps answering from
+bit-identical weights while the clone adapts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.backends.cdmpp import CDMPPBackend
+from repro.backends.base import as_cost_model
+from repro.core.finetune import FineTuner, featurize_for_predictor
+from repro.core.trainer import Trainer, TrainingResult
+from repro.devices.spec import DeviceSpec, get_device
+from repro.errors import TrainingError
+from repro.features.pipeline import FeatureSet, featurize_programs
+from repro.profiler.profiler import Profiler
+from repro.profiler.records import MeasureRecord
+from repro.core.sampling import select_tasks_kmeans, select_tasks_random
+from repro.tir.lower import lower
+from repro.tir.schedule import random_schedule
+from repro.tir.task import Task
+from repro.utils.rng import new_rng, spawn_rng
+
+STRATEGIES = ("kmeans", "random")
+
+
+def _require_cdmpp(model) -> CDMPPBackend:
+    """Adapt ``model`` onto the CDMPP backend, refusing other backends."""
+    backend = as_cost_model(model)
+    if not isinstance(backend, CDMPPBackend):
+        raise TrainingError(
+            f"device onboarding needs the cdmpp backend (fine-tuning uses its "
+            f"latent space), got {backend.backend!r}"
+        )
+    if not backend.fitted:
+        raise TrainingError("device onboarding requires a pre-trained model (call fit() first)")
+    return backend
+
+
+@dataclass
+class OnboardingResult:
+    """Everything one :meth:`OnboardingPipeline.onboard` run produced.
+
+    ``model`` is the adapted :class:`~repro.backends.cdmpp.CDMPPBackend` — a
+    detached clone; the pipeline's pre-trained parent keeps its weights
+    bit-identical.  ``zero_shot``/``adapted`` are error reports of the parent
+    and the adapted model on the same evaluation split (``eval_split`` names
+    which split that was).
+    """
+
+    device: str
+    strategy: str
+    kappa: int
+    selected_tasks: List[str]
+    alpha: float
+    profiled_records: int
+    profiling_budget: Optional[int]
+    profiling_seconds: float
+    finetune: TrainingResult
+    zero_shot: Dict[str, float]
+    adapted: Dict[str, float]
+    cmd_before: float
+    cmd_after: float
+    eval_split: str
+    model: CDMPPBackend
+    parent: Optional[str] = None
+    registered_as: Optional[str] = None
+    checkpoint_path: Optional[Path] = None
+
+    @property
+    def mape_improvement(self) -> float:
+        """Zero-shot MAPE minus adapted MAPE (positive = onboarding helped)."""
+        return self.zero_shot["mape"] - self.adapted["mape"]
+
+    @property
+    def lineage(self) -> Dict[str, object]:
+        """Provenance metadata stored in the adapted checkpoint."""
+        return {
+            "parent": self.parent,
+            "kappa": int(self.kappa),
+            "num_selected": len(self.selected_tasks),
+            "strategy": self.strategy,
+            "alpha": float(self.alpha),
+            "epochs": len(self.finetune.history),
+            "records_profiled": int(self.profiled_records),
+            "profiling_budget": self.profiling_budget,
+        }
+
+
+class OnboardingPipeline:
+    """End-to-end adaptation of a pre-trained cost model to a new device.
+
+    Args:
+        model: The pre-trained parent — a fitted :class:`Trainer`, the
+            ``CDMPP`` facade or a :class:`CDMPPBackend` (other backends are
+            refused: onboarding fine-tunes in the CDMPP latent space).
+        source_train: Labeled source-domain features for the supervised term
+            of Eq. 7 (a subset of the pre-training set).
+        parent_name: Registry name of the parent checkpoint, recorded in the
+            adapted checkpoint's lineage metadata.
+        seed: Base seed for schedule sampling, profiling and task selection.
+    """
+
+    def __init__(
+        self,
+        model: Union[Trainer, CDMPPBackend, object],
+        source_train: FeatureSet,
+        parent_name: Optional[str] = None,
+        seed: int | str | None = 0,
+    ):
+        self.backend = _require_cdmpp(model)
+        if len(source_train) == 0:
+            raise TrainingError("OnboardingPipeline needs non-empty source training features")
+        self.source_train = source_train
+        self.parent_name = parent_name
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Stages (also usable piecemeal)
+    # ------------------------------------------------------------------
+    def candidate_features(
+        self, tasks: Sequence[Task], device: DeviceSpec, schedules_per_task: int, rng
+    ) -> FeatureSet:
+        """Unlabeled target-domain features of every candidate task.
+
+        Schedules are sampled deterministically per task for the device's
+        taxonomy; no profiling happens here — these features drive task
+        selection and the unsupervised CMD term only.
+        """
+        programs = []
+        for task in tasks:
+            task_rng = spawn_rng(rng, "candidate", task.workload_key)
+            for _ in range(max(int(schedules_per_task), 1)):
+                programs.append(lower(task, random_schedule(task, task_rng, device.taxonomy)))
+        return featurize_programs(programs, device, max_leaves=self.backend.max_leaves)
+
+    def select_tasks(
+        self, pool: FeatureSet, num_tasks: int, strategy: str, rng
+    ) -> List[str]:
+        """Algorithm 1 (or the random baseline) over the parent's latents."""
+        if strategy not in STRATEGIES:
+            raise TrainingError(
+                f"unknown sampling strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        latents = self.backend.trainer.latent(pool)
+        features_by_task = {key: latents[idx] for key, idx in pool.by_task().items()}
+        if strategy == "kmeans":
+            return select_tasks_kmeans(features_by_task, num_tasks, seed=spawn_rng(rng, "kmeans"))
+        return select_tasks_random(list(features_by_task), num_tasks, seed=spawn_rng(rng, "random"))
+
+    def profile_selected(
+        self,
+        tasks: Sequence[Task],
+        selected: Sequence[str],
+        device: DeviceSpec,
+        schedules_per_task: int,
+        max_measurements: Optional[int],
+        rng,
+    ) -> List[MeasureRecord]:
+        """Measure the selected tasks on the target device, within budget.
+
+        Tasks are profiled in selection order (most representative clusters
+        first), so a tight ``max_measurements`` budget drops the least
+        informative tasks, not random ones.
+        """
+        by_key = {task.workload_key: task for task in tasks}
+        profiler = Profiler(device, seed=spawn_rng(rng, "profile", device.name))
+        remaining = max_measurements if max_measurements is not None else float("inf")
+        records: List[MeasureRecord] = []
+        for key in selected:
+            if remaining <= 0:
+                break
+            budgeted = int(min(max(int(schedules_per_task), 1), remaining))
+            records.extend(profiler.profile_task(by_key[key], num_schedules=budgeted))
+            remaining -= budgeted
+        return records
+
+    # ------------------------------------------------------------------
+    # The pipeline
+    # ------------------------------------------------------------------
+    def onboard(
+        self,
+        device: Union[str, DeviceSpec],
+        tasks: Sequence[Task],
+        num_tasks: int = 8,
+        strategy: str = "kmeans",
+        schedules_per_task: int = 4,
+        max_measurements: Optional[int] = None,
+        epochs: int = 5,
+        alpha: Optional[float] = None,
+        learning_rate: Optional[float] = None,
+        valid_fraction: float = 0.25,
+        patience: Optional[int] = 2,
+        target_test: Optional[FeatureSet] = None,
+        registry=None,
+        register_as: Optional[str] = None,
+        annotations: Optional[Dict[str, object]] = None,
+    ) -> OnboardingResult:
+        """Run select → profile → fine-tune → report for one new device.
+
+        Args:
+            device: The device joining the fleet.
+            tasks: Candidate tasks the device is expected to serve (the
+                selection pool of Algorithm 1).
+            num_tasks: κ, how many tasks to profile.
+            strategy: ``"kmeans"`` (Algorithm 1) or ``"random"``.
+            schedules_per_task: Schedules measured per selected task.
+            max_measurements: Hard cap on profiled records (the profiling
+                budget); ``None`` = κ × ``schedules_per_task``.
+            epochs / alpha / learning_rate: Fine-tuning knobs (Eq. 7).
+            valid_fraction: Fraction of profiled records held out for
+                per-epoch validation / early stopping / best-state restore.
+            patience: Early-stopping patience (``None`` disables it).
+            target_test: Optional labeled target-device test features; when
+                given, the zero-shot/adapted report uses it instead of the
+                held-out profiled records (experiment mode).
+            registry / register_as: When both are given, the adapted model is
+                saved as a backend-tagged checkpoint under ``register_as``
+                with lineage metadata.
+            annotations: Extra checkpoint annotations (scale, seed, ...) so
+                the adapted entry carries the same bookkeeping a ``cdmpp
+                train`` registration would — later onboards chained off this
+                checkpoint read them back.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            raise TrainingError("onboard needs a non-empty candidate task list")
+        spec = get_device(device) if isinstance(device, str) else device
+        rng = new_rng(("onboard", spec.name, self.seed))
+        alpha_value = (
+            float(alpha) if alpha is not None else float(self.backend.trainer.config.cmd_alpha)
+        )
+
+        # 1. Candidate features + Algorithm-1 selection on the parent latents.
+        pool = self.candidate_features(tasks, spec, schedules_per_task, rng)
+        selected = self.select_tasks(pool, num_tasks, strategy, rng)
+
+        # 2. Budget-capped profiling of the selected tasks.
+        profile_start = time.perf_counter()
+        records = self.profile_selected(
+            tasks, selected, spec, schedules_per_task, max_measurements, rng
+        )
+        profiling_seconds = time.perf_counter() - profile_start
+        if not records:
+            raise TrainingError(
+                "profiling produced no records (is max_measurements zero?); "
+                "onboarding needs at least one measurement"
+            )
+        labeled = featurize_for_predictor(records, self.backend.max_leaves)
+
+        # 3. Hold out part of the profiled records for validation.
+        order = rng.permutation(len(labeled))
+        num_valid = int(len(labeled) * valid_fraction) if len(labeled) >= 4 else 0
+        valid = labeled.subset(order[:num_valid]) if num_valid else None
+        train_labeled = labeled.subset(order[num_valid:])
+
+        # 4. Evaluation split for the zero-shot vs adapted report.
+        if target_test is not None and len(target_test) > 0:
+            eval_fs, eval_split = target_test, "target_test"
+        elif valid is not None:
+            eval_fs, eval_split = valid, "holdout"
+        else:
+            eval_fs, eval_split = labeled, "profiled"
+
+        zero_shot = self.backend.trainer.evaluate(eval_fs)
+
+        # 5. CMD-regularized fine-tuning of a detached clone (Eq. 7).
+        finetuner = FineTuner(self.backend.trainer)  # clones internally
+        cmd_before = finetuner.latent_cmd(self.source_train, pool)
+        finetune_result = finetuner.finetune(
+            source=self.source_train,
+            target=pool,
+            target_labeled=train_labeled,
+            epochs=epochs,
+            alpha=alpha_value,
+            learning_rate=learning_rate,
+            valid=valid,
+            patience=patience,
+        )
+        cmd_after = finetuner.latent_cmd(self.source_train, pool)
+        adapted_backend = CDMPPBackend(trainer=finetuner.trainer)
+        adapted = finetuner.trainer.evaluate(eval_fs)
+
+        result = OnboardingResult(
+            device=spec.name,
+            strategy=strategy,
+            kappa=int(num_tasks),
+            selected_tasks=list(selected),
+            alpha=alpha_value,
+            profiled_records=len(records),
+            profiling_budget=max_measurements,
+            profiling_seconds=profiling_seconds,
+            finetune=finetune_result,
+            zero_shot=zero_shot,
+            adapted=adapted,
+            cmd_before=cmd_before,
+            cmd_after=cmd_after,
+            eval_split=eval_split,
+            model=adapted_backend,
+            parent=self.parent_name,
+        )
+
+        # 6. Optional registration with lineage metadata.
+        if registry is not None and register_as:
+            result.checkpoint_path = registry.save(
+                register_as,
+                adapted_backend,
+                device=spec.name,
+                lineage=result.lineage,
+                **(annotations or {}),
+            )
+            result.registered_as = register_as
+        return result

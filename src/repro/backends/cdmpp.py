@@ -71,6 +71,18 @@ class CDMPPBackend(CostModel):
             return True
         return getattr(obj, "trainer", None) is self.trainer  # the CDMPP facade
 
+    def clone(self) -> "CDMPPBackend":
+        """A detached copy of this fitted backend (see :meth:`Trainer.clone`).
+
+        Fine-tuning the clone can never mutate this backend's weights, which
+        is what keeps a served (possibly ``load_shared``) checkpoint intact
+        while a new device is onboarded from it.
+        """
+        twin = CDMPPBackend(trainer=self.trainer.clone())
+        twin._train_stats = self._train_stats
+        twin.last_training_result = self.last_training_result
+        return twin
+
     # -- training -------------------------------------------------------
     def fit(
         self,

@@ -16,6 +16,11 @@ Subcommands follow the train-once / query-many workflow of the paper:
 * ``cdmpp compare <device>`` — train several backends side by side on one
   dataset and print a Table-1-style capability + accuracy + training
   throughput report.
+* ``cdmpp onboard <device> --parent <name>`` — grow the fleet: select κ
+  tasks on the parent checkpoint's latents (Algorithm 1), profile only those
+  on the new device, fine-tune a detached clone with the CMD-regularized
+  objective (Eq. 7) and register the adapted checkpoint with lineage
+  metadata.  The parent checkpoint is never modified.
 * ``cdmpp serve <device>`` — answer a stream of queries from a file or stdin
   through one cached, batched :class:`repro.serving.PredictionService`.
 * ``cdmpp fleet --devices a,b`` — the multi-device version of ``serve``:
@@ -39,6 +44,8 @@ import os
 import sys
 from typing import List, Optional, TextIO, Tuple
 
+from repro.adaptation import STRATEGIES as ONBOARD_STRATEGIES
+from repro.adaptation import OnboardingPipeline
 from repro.backends import (
     CostModel,
     available_backends,
@@ -56,7 +63,7 @@ from repro.graph.zoo import build_model, list_models, resolve_model_name
 from repro.replay.e2e import COMPOSE_MODES, measure_end_to_end
 from repro.serving import FleetService, ModelRegistry, PredictionService
 
-SUBCOMMANDS = ("train", "query", "predict-model", "compare", "serve", "fleet", "list")
+SUBCOMMANDS = ("train", "query", "predict-model", "compare", "onboard", "serve", "fleet", "list")
 
 
 # ----------------------------------------------------------------------
@@ -239,6 +246,82 @@ def build_cli_parser() -> argparse.ArgumentParser:
         "('<device>-<scale>[-<backend>]')",
     )
     compare.add_argument("--registry", default=None, help=_REGISTRY_HELP)
+
+    onboard = _sub(
+        sub,
+        "onboard",
+        "adapt a registered checkpoint to a new device (clone + fine-tune)",
+        "example:\n  cdmpp train t4 --scale tiny\n"
+        "  cdmpp onboard k80 --parent t4-tiny\n\n"
+        "Runs the Algorithm-1 onboarding pipeline: select kappa representative\n"
+        "tasks on the parent model's latents, profile only those on the new\n"
+        "device (--budget caps the measurements), CMD-regularize-finetune a\n"
+        "detached clone (the parent checkpoint is never modified) and register\n"
+        "the adapted model with lineage metadata as '<device>-<scale>'.\n"
+        "Prints a zero-shot vs adapted report in the style of `cdmpp compare`.",
+    )
+    onboard.add_argument("device", help=f"new device to onboard, one of: {', '.join(all_device_names())}")
+    onboard.add_argument(
+        "--parent",
+        required=True,
+        help="registry name of the pre-trained cdmpp checkpoint to adapt from "
+        "(e.g. 't4-tiny')",
+    )
+    onboard.add_argument("--registry", default=None, help=_REGISTRY_HELP)
+    onboard.add_argument(
+        "--source-device",
+        default=None,
+        help="device the parent was trained on (default: read from the parent "
+        "checkpoint's metadata)",
+    )
+    onboard.add_argument(
+        "--scale",
+        default=None,
+        choices=list(available_scales()),
+        help="experiment scale of the profiling/evaluation data "
+        "(default: the parent checkpoint's recorded scale)",
+    )
+    onboard.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="random seed (default: the parent checkpoint's recorded seed)",
+    )
+    onboard.add_argument(
+        "--num-tasks", type=int, default=8, help="kappa, tasks to profile on the new device"
+    )
+    onboard.add_argument(
+        "--strategy",
+        default="kmeans",
+        choices=list(ONBOARD_STRATEGIES),
+        help="task-selection strategy: 'kmeans' (Algorithm 1) or 'random'",
+    )
+    onboard.add_argument(
+        "--schedules-per-task", type=int, default=4, help="schedules measured per selected task"
+    )
+    onboard.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="hard cap on profiled measurements (default: num-tasks x schedules-per-task)",
+    )
+    onboard.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        help="fine-tuning epochs (default: the scale's finetune_epochs)",
+    )
+    onboard.add_argument(
+        "--alpha", type=float, default=None, help="CMD coefficient of Eq. 7 (default: cmd_alpha)"
+    )
+    onboard.add_argument(
+        "--name",
+        default=None,
+        help="registry name of the adapted checkpoint (default: '<device>-<scale>')",
+    )
+    onboard.add_argument(
+        "--no-register", action="store_true", help="report only; do not register the adapted model"
+    )
 
     serve = _sub(
         sub,
@@ -534,6 +617,15 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _align_table(table: List[List[str]]) -> List[str]:
+    """Left-align a list of rows (first row = header) into text lines."""
+    widths = [max(len(line[col]) for line in table) for col in range(len(table[0]))]
+    return [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip()
+        for line in table
+    ]
+
+
 def _format_compare_table(rows: List[dict]) -> List[str]:
     """Render the Table-1-style comparison rows as aligned text lines."""
     header = ["backend", "abs", "model", "op", "xdev", "MAPE%", "RMSE(ms)", "train_s", "samples/s"]
@@ -554,11 +646,7 @@ def _format_compare_table(rows: List[dict]) -> List[str]:
             f"{row['train_seconds']:.2f}",
             f"{row['throughput']:.0f}",
         ])
-    widths = [max(len(line[col]) for line in table) for col in range(len(header))]
-    return [
-        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip()
-        for line in table
-    ]
+    return _align_table(table)
 
 
 def _cmd_compare(args) -> int:
@@ -626,6 +714,132 @@ def _cmd_compare(args) -> int:
         best = min(trained, key=lambda row: row["mape"])
         print(f"[cdmpp] best test MAPE: {best['backend']} ({best['mape'] * 100:.1f}%)")
     return 0 if trained else 2
+
+
+def _format_onboard_table(rows: List[dict]) -> List[str]:
+    """Render the zero-shot vs adapted report as aligned text lines."""
+    table = [["stage", "MAPE%", "RMSE(ms)", "10%-acc", "20%-acc"]]
+    for row in rows:
+        metrics = row["metrics"]
+        table.append([
+            row["stage"],
+            f"{metrics['mape'] * 100:.1f}",
+            f"{metrics['rmse'] * 1e3:.4f}",
+            f"{metrics['10%accuracy'] * 100:.0f}",
+            f"{metrics['20%accuracy'] * 100:.0f}",
+        ])
+    return _align_table(table)
+
+
+def _cmd_onboard(args) -> int:
+    from repro.features.pipeline import featurize_records
+
+    registry = ModelRegistry(args.registry)
+    try:
+        device = get_device(args.device)
+        if not registry.exists(args.parent):
+            available = ", ".join(registry.list()) or "<registry is empty>"
+            raise ReproError(
+                f"no parent checkpoint {args.parent!r} in {registry.root} "
+                f"(available: {available}); train one first: cdmpp train <device>"
+            )
+        if resolve_backend_name(registry.backend_of(args.parent)) != "cdmpp":
+            raise ReproError(
+                f"parent checkpoint {args.parent!r} was written by backend "
+                f"{registry.backend_of(args.parent)!r}; onboarding fine-tunes in the "
+                "cdmpp latent space and needs a cdmpp parent"
+            )
+        extra = registry.describe(args.parent).get("extra", {})
+        source_device = args.source_device or extra.get("device")
+        if not source_device:
+            raise ReproError(
+                f"parent checkpoint {args.parent!r} records no source device; "
+                "pass --source-device"
+            )
+        source_device = get_device(source_device).name
+        if source_device == device.name:
+            raise ReproError(
+                f"parent {args.parent!r} was already trained on {device.name}; "
+                "onboard a *different* device or just serve the parent"
+            )
+        scale_name = args.scale or extra.get("scale") or "tiny"
+        scale = get_scale(scale_name)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    seed = args.seed if args.seed is not None else int(extra.get("seed", 0))
+    epochs = args.epochs if args.epochs is not None else scale.finetune_epochs
+    parent = registry.load(args.parent)
+
+    print(
+        f"[cdmpp] regenerating the {scale_name}-scale dataset for "
+        f"{source_device} (source) + {device.name} (target) ..."
+    )
+    dataset = generate_dataset(
+        DatasetConfig(devices=(source_device, device.name), seed=seed, **scale.dataset_kwargs())
+    )
+    source_splits = split_dataset(dataset.records(source_device), seed=seed)
+    target_splits = split_dataset(dataset.records(device.name), seed=seed)
+    source_train = featurize_records(source_splits.train, max_leaves=parent.max_leaves)
+    target_test = featurize_records(target_splits.test, max_leaves=parent.max_leaves)
+
+    budget = args.budget if args.budget is not None else args.num_tasks * args.schedules_per_task
+    print(
+        f"[cdmpp] onboarding {device.name} from parent {args.parent!r} "
+        f"(kappa={args.num_tasks}, strategy={args.strategy}, budget={budget})"
+    )
+    pipeline = OnboardingPipeline(parent, source_train, parent_name=args.parent, seed=seed)
+    name = args.name or _registry_name(device.name, scale_name, "cdmpp")
+    result = pipeline.onboard(
+        device,
+        dataset.tasks(),
+        num_tasks=args.num_tasks,
+        strategy=args.strategy,
+        schedules_per_task=args.schedules_per_task,
+        max_measurements=budget,
+        epochs=epochs,
+        alpha=args.alpha,
+        target_test=target_test,
+        registry=None if args.no_register else registry,
+        register_as=None if args.no_register else name,
+        annotations={"scale": scale_name, "seed": seed},
+    )
+
+    print(
+        f"[cdmpp] profiled {result.profiled_records} record(s) across "
+        f"{len(result.selected_tasks)} task(s) in {result.profiling_seconds:.2f}s; "
+        f"fine-tuned {len(result.finetune.history)} epoch(s)"
+    )
+    print(
+        f"[cdmpp] zero-shot vs adapted on {device.name} "
+        f"(test split, {len(target_test)} records):"
+    )
+    rows = [
+        {"stage": "zero-shot", "metrics": result.zero_shot},
+        {"stage": "adapted", "metrics": result.adapted},
+    ]
+    for line in _format_onboard_table(rows):
+        print(f"[cdmpp]   {line}")
+    print(f"[cdmpp] latent CMD source<->target: {result.cmd_before:.4f} -> {result.cmd_after:.4f}")
+    if result.registered_as:
+        lineage = result.lineage
+        print(
+            f"[cdmpp] registered {result.registered_as!r} at {result.checkpoint_path} "
+            f"(lineage: parent={lineage['parent']}, kappa={lineage['kappa']}, "
+            f"alpha={lineage['alpha']}, strategy={lineage['strategy']}, "
+            f"epochs={lineage['epochs']})"
+        )
+        print(
+            f"[cdmpp] serve the grown fleet with: cdmpp fleet --devices "
+            f"{source_device},{device.name} --scale {scale_name}"
+        )
+    if result.mape_improvement <= 0:
+        print(
+            "[cdmpp] warning: adaptation did not improve MAPE on the test split; "
+            "consider more tasks (--num-tasks), a larger --budget or more --epochs"
+        )
+    return 0
 
 
 def _cmd_predict_model(args) -> int:
@@ -903,6 +1117,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "query": _cmd_query,
             "predict-model": _cmd_predict_model,
             "compare": _cmd_compare,
+            "onboard": _cmd_onboard,
             "serve": _cmd_serve,
             "fleet": _cmd_fleet,
             "list": _cmd_list,

@@ -33,7 +33,7 @@ from repro.core.metrics import error_report, mape, rmse, threshold_accuracy
 from repro.core.kmeans import KMeans
 from repro.core.sampling import select_tasks_kmeans, select_tasks_random
 from repro.core.trainer import Trainer, TrainingResult
-from repro.core.finetune import FineTuner, cross_device_adaptation
+from repro.core.finetune import FineTuner, cross_device_adaptation, featurize_for_predictor
 from repro.core.autotuner import AutoTuner, SearchSpace
 from repro.core.persistence import load_trainer, save_trainer
 from repro.core.scale import ExperimentScale, get_scale
@@ -63,6 +63,7 @@ __all__ = [
     "TrainingResult",
     "FineTuner",
     "cross_device_adaptation",
+    "featurize_for_predictor",
     "AutoTuner",
     "SearchSpace",
     "save_trainer",

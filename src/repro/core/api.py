@@ -119,8 +119,15 @@ class CDMPP:
         strategy: str = "kmeans",
         epochs: int = 5,
     ) -> CrossDeviceResult:
-        """Adapt a pre-trained model to a new device (Sec. 5.3 + Algorithm 1)."""
-        return cross_device_adaptation(
+        """Adapt a pre-trained model to a new device (Sec. 5.3 + Algorithm 1).
+
+        Fine-tuning trains a detached clone; this facade then adopts the
+        adapted clone as its serving model.  A trainer handed in through
+        :meth:`from_trainer` (possibly shared with a fleet via
+        ``ModelRegistry.load_shared``) keeps its pre-trained weights
+        bit-identical.
+        """
+        result = cross_device_adaptation(
             self.trainer,
             source_train=source_train,
             target_records=target_records,
@@ -129,6 +136,9 @@ class CDMPP:
             strategy=strategy,
             epochs=epochs,
         )
+        if result.adapted_trainer is not None:
+            self.backend.trainer = result.adapted_trainer
+        return result
 
     # ------------------------------------------------------------------
     # Queries

@@ -5,36 +5,69 @@ Fine-tuning minimises Eq. 7: the hybrid supervised loss on labeled data plus
 the target domain.  For cross-device adaptation the labeled target data comes
 from profiling the κ tasks chosen by the KMeans-based sampling strategy
 (Algorithm 1) on the target device.
+
+Fine-tuning is **non-destructive**: :class:`FineTuner` clones the pre-trained
+trainer (see :meth:`repro.core.trainer.Trainer.clone`) and optimises the
+clone, so the pre-trained model — which a serving fleet may share in memory
+via ``ModelRegistry.load_shared`` — keeps its weights bit-identical.  The
+adapted model is :attr:`FineTuner.trainer` /
+:attr:`CrossDeviceResult.adapted_trainer`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.cmd import cmd_distance_tensor
 from repro.core.losses import hybrid_loss
-from repro.core.metrics import error_report
 from repro.core.sampling import select_tasks_kmeans, select_tasks_random
 from repro.core.trainer import Trainer, TrainingResult
-from repro.errors import TrainingError
+from repro.errors import FeatureError, TrainingError
 from repro.features.pipeline import FeatureSet, featurize_records
 from repro.nn.optim import make_optimizer
 from repro.nn.tensor import Tensor
-from repro.profiler.profiler import Profiler
 from repro.utils.rng import new_rng
 
 
-class FineTuner:
-    """Fine-tunes a pre-trained predictor with the CMD-regularized objective."""
+def featurize_for_predictor(records: Sequence, max_leaves: int) -> FeatureSet:
+    """Featurize records padded to the *predictor's* Compact-AST width.
 
-    def __init__(self, trainer: Trainer):
+    Cross-device data must be padded to the width the predictor was built
+    for, not to the widest program that happened to appear in the source
+    training set: a target-device program may be wider than any source
+    program while still fitting the predictor.  Raises a clear
+    :class:`TrainingError` only when a program genuinely exceeds the
+    predictor's capacity.
+    """
+    try:
+        return featurize_records(list(records), max_leaves=int(max_leaves))
+    except FeatureError as error:
+        raise TrainingError(
+            f"a target-device program exceeds the predictor's Compact-AST capacity "
+            f"(PredictorConfig.max_leaves={max_leaves}): {error}; re-train with a "
+            "larger max_leaves to onboard this workload"
+        ) from error
+
+
+class FineTuner:
+    """Fine-tunes a pre-trained predictor with the CMD-regularized objective.
+
+    By default the pre-trained trainer is **cloned** and only the clone is
+    optimised (``clone=False`` restores the legacy in-place behaviour for
+    callers that explicitly own their trainer).  After :meth:`finetune`,
+    :attr:`trainer` is the adapted model and :attr:`source_trainer` the
+    untouched pre-trained one.
+    """
+
+    def __init__(self, trainer: Trainer, clone: bool = True):
         if not getattr(trainer, "_fitted", False):
             raise TrainingError("FineTuner requires a pre-trained Trainer (call fit() first)")
-        self.trainer = trainer
+        self.source_trainer = trainer
+        self.trainer = trainer.clone() if clone else trainer
         self.config = trainer.config
         self._rng = new_rng(("finetune", trainer.config.seed))
 
@@ -50,8 +83,10 @@ class FineTuner:
         epochs: int = 5,
         alpha: Optional[float] = None,
         learning_rate: Optional[float] = None,
+        valid: Optional[FeatureSet] = None,
+        patience: Optional[int] = None,
     ) -> TrainingResult:
-        """Run CMD-regularized fine-tuning.
+        """Run CMD-regularized fine-tuning on the (cloned) trainer.
 
         Args:
             source: Labeled source-domain data (a subset of S_train).
@@ -63,11 +98,23 @@ class FineTuner:
             alpha: CMD coefficient (defaults to ``TrainingConfig.cmd_alpha``).
             learning_rate: Overrides the pre-training learning rate (commonly
                 reduced for fine-tuning).
+            valid: Optional labeled validation set (*not* normalized by the
+                caller), evaluated after every epoch.  The best epoch's
+                weights are restored at the end, and
+                ``best_epoch``/``best_valid_mape`` are populated in the
+                result.  The zero-shot weights count as the epoch ``-1``
+                baseline: a fine-tune that never beats zero-shot on the
+                validation split is rolled back entirely, so adaptation can
+                only help.
+            patience: With ``valid``, stop after this many epochs without a
+                validation-MAPE improvement (``None`` disables early
+                stopping).
         """
         if len(source) == 0 or len(target) == 0:
             raise TrainingError("fine-tuning needs non-empty source and target sets")
         alpha = self.config.cmd_alpha if alpha is None else float(alpha)
         predictor = self.trainer.predictor
+        has_valid = valid is not None and len(valid) > 0
 
         # Inputs use the same feature standardisation as pre-training
         # (labels are untouched by normalisation).
@@ -85,6 +132,14 @@ class FineTuner:
         target_labels = self._labels(target_labeled) if target_labeled is not None else None
 
         result = TrainingResult()
+        best_state = None
+        if has_valid:
+            # The zero-shot model is the baseline to beat (epoch -1): if no
+            # epoch improves on it, the fine-tune is rolled back below.
+            best_state = predictor.state_dict()
+            result.best_valid_mape = self.trainer.evaluate(valid)["mape"]
+            result.best_epoch = -1
+        epochs_without_improvement = 0
         start = time.perf_counter()
         samples = 0
         batch_size = self.config.batch_size
@@ -134,14 +189,32 @@ class FineTuner:
                 optimizer.step()
                 epoch_losses.append(float(loss.item()))
                 samples += len(batch)
-            result.history.append({"epoch": float(epoch), "train_loss": float(np.mean(epoch_losses))})
+            entry: Dict[str, float] = {
+                "epoch": float(epoch),
+                "train_loss": float(np.mean(epoch_losses)),
+            }
+            if has_valid:
+                valid_mape = self.trainer.evaluate(valid)["mape"]
+                entry["valid_mape"] = valid_mape
+                if valid_mape < result.best_valid_mape:
+                    result.best_valid_mape = valid_mape
+                    result.best_epoch = epoch
+                    best_state = predictor.state_dict()
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+            result.history.append(entry)
+            if has_valid and patience and epochs_without_improvement >= patience:
+                break
 
         result.train_seconds = time.perf_counter() - start
         result.throughput_samples_per_s = samples / max(result.train_seconds, 1e-9)
+        if best_state is not None and result.best_valid_mape < float("inf"):
+            predictor.load_state_dict(best_state)
         return result
 
     def latent_cmd(self, source: FeatureSet, target: FeatureSet) -> float:
-        """CMD between source and target latent representations (Fig. 8/11/16)."""
+        """CMD between source and target latents of the *adapted* model (Fig. 8/11/16)."""
         from repro.core.cmd import cmd_distance
 
         return cmd_distance(self.trainer.latent(source), self.trainer.latent(target))
@@ -152,7 +225,11 @@ class FineTuner:
 # ---------------------------------------------------------------------------
 @dataclass
 class CrossDeviceResult:
-    """Outcome of one cross-device adaptation experiment."""
+    """Outcome of one cross-device adaptation experiment.
+
+    ``adapted_trainer`` is a detached clone carrying the fine-tuned weights;
+    the trainer passed to :func:`cross_device_adaptation` is left untouched.
+    """
 
     target_device: str
     selected_tasks: List[str]
@@ -161,6 +238,7 @@ class CrossDeviceResult:
     cmd_before: float
     cmd_after: float
     finetune_result: TrainingResult = field(default_factory=TrainingResult)
+    adapted_trainer: Optional[Trainer] = None
 
 
 def cross_device_adaptation(
@@ -175,6 +253,10 @@ def cross_device_adaptation(
     seed: int | str | None = 0,
 ) -> CrossDeviceResult:
     """Adapt a pre-trained predictor to a new device.
+
+    The pre-trained ``trainer`` is only read (zero-shot evaluation, latent
+    extraction); fine-tuning happens on a detached clone returned as
+    ``CrossDeviceResult.adapted_trainer``.
 
     Args:
         trainer: A pre-trained :class:`Trainer` (on the source devices).
@@ -193,8 +275,9 @@ def cross_device_adaptation(
     target_records = list(target_records)
     if not target_records:
         raise TrainingError("cross_device_adaptation needs target-device records")
-    max_leaves = source_train.max_leaves
-    target_all = featurize_records(target_records, max_leaves=max_leaves)
+    # Pad to the predictor's width: a target program may be wider than every
+    # source program yet still fit the predictor (PredictorConfig.max_leaves).
+    target_all = featurize_for_predictor(target_records, trainer.max_leaves)
 
     metrics_before = trainer.evaluate(target_test)
     finetuner = FineTuner(trainer)
@@ -222,7 +305,7 @@ def cross_device_adaptation(
         epochs=epochs,
         alpha=alpha,
     )
-    metrics_after = trainer.evaluate(target_test)
+    metrics_after = finetuner.trainer.evaluate(target_test)
     cmd_after = finetuner.latent_cmd(source_train, target_all)
 
     return CrossDeviceResult(
@@ -233,4 +316,5 @@ def cross_device_adaptation(
         cmd_before=cmd_before,
         cmd_after=cmd_after,
         finetune_result=finetune_result,
+        adapted_trainer=finetuner.trainer,
     )

@@ -156,8 +156,17 @@ class CDMPPPredictor(Module):
             Tensor(subset.device_features),
         )
 
+    @property
+    def latent_dim(self) -> int:
+        """Width of the latent representation ``z`` produced by :meth:`encode`."""
+        if self.device_mlp is not None:
+            return self.config.embedding_dim + self.config.device_embedding_dim
+        return self.config.embedding_dim
+
     def predict_transformed(self, features: FeatureSet, batch_size: int = 256) -> np.ndarray:
         """Predict in the transformed label space, batching to bound memory."""
+        if len(features) == 0:
+            return np.zeros(0, dtype=np.float64)
         outputs = []
         with no_grad():
             for start in range(0, len(features), batch_size):
@@ -168,6 +177,8 @@ class CDMPPPredictor(Module):
 
     def encode_features(self, features: FeatureSet, batch_size: int = 256) -> np.ndarray:
         """Latent representations of all samples (for CMD analysis / sampling)."""
+        if len(features) == 0:
+            return np.zeros((0, self.latent_dim), dtype=np.float64)
         outputs = []
         with no_grad():
             for start in range(0, len(features), batch_size):

@@ -9,6 +9,7 @@ to compare training efficiency across cost models.
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -208,6 +209,32 @@ class Trainer:
             self.predictor.load_state_dict(best_state)
         return result
 
+    def clone(self) -> "Trainer":
+        """A detached deep copy of this fitted trainer.
+
+        The clone owns its own predictor parameters (copied via
+        ``state_dict``), feature-normalisation statistics and fitted label
+        transform, so training the clone — the fine-tuning path — can never
+        touch this trainer's weights.  A fleet serving this trainer through
+        ``ModelRegistry.load_shared`` therefore keeps answering queries from
+        the original weights while the clone adapts.  The clone's training
+        RNG restarts from ``config.seed``.
+        """
+        if not self._fitted:
+            raise TrainingError("Trainer.clone requires a fitted trainer (call fit() first)")
+        twin = Trainer(
+            predictor_config=self.predictor.config,  # frozen dataclass, safe to share
+            config=self.config,
+        )
+        twin.predictor.load_state_dict(self.predictor.state_dict())
+        twin.transform = copy.deepcopy(self.transform)
+        twin._x_mean = None if self._x_mean is None else np.array(self._x_mean, copy=True)
+        twin._x_std = None if self._x_std is None else np.array(self._x_std, copy=True)
+        twin._dev_mean = None if self._dev_mean is None else np.array(self._dev_mean, copy=True)
+        twin._dev_std = None if self._dev_std is None else np.array(self._dev_std, copy=True)
+        twin._fitted = True
+        return twin
+
     def normalize_features(self, features: FeatureSet) -> FeatureSet:
         """Apply the training-set feature standardisation to ``features``."""
         if not self._fitted:
@@ -247,6 +274,8 @@ class Trainer:
 
     def evaluate(self, features: FeatureSet) -> Dict[str, float]:
         """MAPE/RMSE/threshold-accuracy of predictions in the original space."""
+        if len(features) == 0:
+            raise TrainingError("cannot evaluate an empty feature set")
         predictions = self.predict(features)
         return error_report(predictions, features.y)
 

@@ -19,7 +19,7 @@ from repro.tir.lower import lower
 from repro.tir.program import TensorProgram
 from repro.tir.schedule import Schedule, random_schedule
 from repro.tir.task import Task
-from repro.utils.rng import new_rng, spawn_rng
+from repro.utils.rng import new_rng, spawn_rng, stable_hash
 
 
 class Profiler:
@@ -33,8 +33,15 @@ class Profiler:
     ):
         self.device = get_device(device) if isinstance(device, str) else device
         self.repeats = max(int(repeats), 1)
+        # A caller-supplied Generator must not become the profiler's own
+        # stream (schedule sampling would silently advance the caller's RNG),
+        # nor reach the simulator, which hashes repr(seed) — for a Generator
+        # that embeds a memory address and would break determinism.  One
+        # parent draw keys an independent child seed for both.
+        if isinstance(seed, np.random.Generator):
+            seed = stable_hash(int(seed.integers(0, 2**31 - 1)), "profiler", self.device.name)
         self._simulator = DeviceSimulator(self.device, seed=seed)
-        self._rng = new_rng(seed if not isinstance(seed, np.random.Generator) else seed)
+        self._rng = new_rng(seed)
 
     def measure(self, program: TensorProgram, schedule_index: int = 0) -> MeasureRecord:
         """Measure one program, averaging ``repeats`` simulated runs."""

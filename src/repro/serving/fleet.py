@@ -99,6 +99,7 @@ class FleetStats:
     fanout_queries: int = 0
     partitions: int = 0
     partition_cache_hits: int = 0
+    devices_onboarded: int = 0
 
 
 class FleetService:
@@ -187,6 +188,41 @@ class FleetService:
         device keeps its warm cache.
         """
         self._service.swap_model(_canonical_device(device), model)
+
+    def onboard_device(self, device: str, adapted) -> None:
+        """Hot-swap an onboarded device's *adapted* model into the fleet.
+
+        ``adapted`` is an :class:`repro.adaptation.OnboardingResult` (its
+        ``model`` is used) or any fitted model.  The adapted model must be a
+        detached clone (:meth:`repro.core.trainer.Trainer.clone`, what
+        :class:`~repro.adaptation.OnboardingPipeline` produces): a model that
+        still shares weights with the one currently serving ``device`` means
+        fine-tuning mutated the served object — possibly shared with every
+        other device via ``ModelRegistry.load_shared`` — and is refused.
+
+        Only the onboarded device's prediction-cache shard is invalidated;
+        every other device keeps its warm cache and its weights untouched.
+        """
+        from repro.adaptation.pipeline import OnboardingResult
+
+        if isinstance(adapted, OnboardingResult):
+            if adapted.device != _canonical_device(device):
+                raise ServingError(
+                    f"onboarding result is for device {adapted.device!r}, "
+                    f"not {device!r}"
+                )
+            adapted = adapted.model
+        name = _canonical_device(device)
+        for served_device in self._service.devices:
+            served = self._service.model_for(served_device)
+            if served.wraps(adapted):
+                raise ServingError(
+                    f"the adapted model for {name!r} shares weights with the model "
+                    f"serving device {served_device!r}; fine-tune a detached clone "
+                    "(Trainer.clone / OnboardingPipeline) instead of the served object"
+                )
+        self._service.swap_model(name, adapted)
+        self.stats.devices_onboarded += 1
 
     def service_for_kernels(self) -> PredictionService:
         """The shared per-kernel service (for direct program-level queries)."""
@@ -359,6 +395,7 @@ class FleetService:
             "fanout_queries": self.stats.fanout_queries,
             "partitions": self.stats.partitions,
             "partition_cache_hits": self.stats.partition_cache_hits,
+            "devices_onboarded": self.stats.devices_onboarded,
             "kernel_service": self._service.describe_stats(),
         }
 

@@ -82,6 +82,16 @@ class ModelRegistry:
         """Backend tag of a registered checkpoint (``"cdmpp"`` when untagged)."""
         return backend_of_checkpoint(self.path_for(name))
 
+    def lineage_of(self, name: str) -> Dict:
+        """Onboarding lineage of a checkpoint (empty for pre-trained roots).
+
+        Checkpoints registered by :class:`repro.adaptation.OnboardingPipeline`
+        record how they were derived — parent checkpoint, κ, sampling
+        strategy, α, fine-tuning epochs, profiled-record count — so a fleet
+        operator can audit where every adapted model came from.
+        """
+        return dict(self.describe(name).get("extra", {}).get("lineage") or {})
+
     # ------------------------------------------------------------------
     # Save / load
     # ------------------------------------------------------------------

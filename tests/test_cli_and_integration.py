@@ -140,11 +140,17 @@ class TestEndToEndIntegration:
         assert after < before * 1.5  # must not blow the domains apart
 
     def test_prediction_errors_correlate_with_latency_scale(self, trained_trainer, t4_features):
-        """Sanity: predictions track the order of magnitude of the labels."""
+        """Sanity: predictions track the order of magnitude of the labels.
+
+        The historical 0.45 threshold silently depended on the preceding
+        test fine-tuning the shared session fixture *in place*; now that
+        fine-tuning clones, this test sees the genuine zero-shot fixture
+        (run it alone to check) and asserts its actual correlation.
+        """
         _, _, test = t4_features
         predictions = trained_trainer.predict(test)
         correlation = np.corrcoef(np.log(predictions), np.log(test.y))[0, 1]
-        assert correlation > 0.45
+        assert correlation > 0.25
 
     def test_cross_device_ranking_preserved_for_large_models(self, trained_trainer):
         """A faster device should get a faster end-to-end prediction."""
