@@ -40,6 +40,7 @@ changing any parser here.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional, TextIO, Tuple
@@ -61,9 +62,28 @@ from repro.devices.spec import DeviceSpec, all_device_names, get_device
 from repro.errors import ReproError
 from repro.graph.zoo import build_model, list_models, resolve_model_name
 from repro.replay.e2e import COMPOSE_MODES, measure_end_to_end
-from repro.serving import FleetService, ModelRegistry, PredictionService
+from repro.serving import (
+    DaemonClient,
+    DaemonConfig,
+    DaemonRequestError,
+    FleetService,
+    ModelRegistry,
+    PredictionService,
+    ServingDaemon,
+)
 
-SUBCOMMANDS = ("train", "query", "predict-model", "compare", "onboard", "serve", "fleet", "list")
+SUBCOMMANDS = (
+    "train",
+    "query",
+    "predict-model",
+    "compare",
+    "onboard",
+    "serve",
+    "fleet",
+    "daemon",
+    "client",
+    "list",
+)
 
 
 # ----------------------------------------------------------------------
@@ -373,6 +393,97 @@ def build_cli_parser() -> argparse.ArgumentParser:
         "(default: missing checkpoints are an error)",
     )
 
+    daemon = _sub(
+        sub,
+        "daemon",
+        "run a long-lived TCP serving daemon with deadline-aware batching",
+        "example:\n  cdmpp daemon --devices t4,k80 --port 7077 --scale tiny --train-missing\n\n"
+        "Serves the fleet over line-delimited JSON on TCP (see docs/daemon.md\n"
+        "for the wire protocol). Concurrent clients' queries are micro-batched\n"
+        "per device shard: a batch flushes when full (--max-batch-size) or\n"
+        "when its oldest request has waited --max-wait-ms. Requests carrying\n"
+        "a deadline_ms jump the queue and are shed with 'deadline_exceeded'\n"
+        "once expired; beyond --queue-limit queued requests new work is\n"
+        "rejected with 'overloaded' + retry_after_ms. SIGTERM/SIGINT drain\n"
+        "queued work before exiting.",
+    )
+    daemon.add_argument(
+        "--devices",
+        required=True,
+        help="comma-separated device names the daemon serves, e.g. 't4,k80'",
+    )
+    daemon.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    daemon.add_argument(
+        "--port", type=int, default=7077, help="TCP port to listen on (0 = OS-assigned)"
+    )
+    daemon.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=32,
+        help="flush a device shard's batch at this many queued requests",
+    )
+    daemon.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=10.0,
+        help="flush a shard once its oldest request has waited this long",
+    )
+    daemon.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="total queued requests before new work is rejected as 'overloaded'",
+    )
+    daemon.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="deadline applied to requests that carry none (default: no deadline)",
+    )
+    _add_scale_seed(daemon)
+    _add_checkpoint_options(daemon)
+    _add_compose(daemon)
+    daemon.add_argument(
+        "--train-missing",
+        action="store_true",
+        help="train and register a checkpoint for devices that have none "
+        "(default: missing checkpoints are an error)",
+    )
+
+    client = _sub(
+        sub,
+        "client",
+        "query a running `cdmpp daemon` over TCP",
+        "example:\n  printf 'bert_tiny\\nresnet50 1 t4\\n' | cdmpp client --port 7077\n"
+        "  cdmpp client --port 7077 --health\n\n"
+        "Each request line is `network [batch_size] [device]`; without a\n"
+        "device the query fans out to every daemon device and prints a ranked\n"
+        "answer (the same format as `cdmpp fleet`). --health and --stats are\n"
+        "one-shot probes that print the daemon's JSON response.",
+    )
+    client.add_argument("--host", default="127.0.0.1", help="daemon host")
+    client.add_argument("--port", type=int, default=7077, help="daemon port")
+    client.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline; expired requests are shed by the daemon",
+    )
+    client.add_argument(
+        "--timeout-s", type=float, default=60.0, help="socket timeout for each round-trip"
+    )
+    client.add_argument(
+        "--requests",
+        default="-",
+        help="file with one `network [batch_size] [device]` query per line ('-' reads stdin)",
+    )
+    client.add_argument(
+        "--health", action="store_true", help="print the daemon's health payload and exit"
+    )
+    client.add_argument(
+        "--stats", action="store_true", help="print the daemon's stats payload and exit"
+    )
+
     list_cmd = _sub(
         sub,
         "list",
@@ -488,19 +599,21 @@ def _parse_device_list(arg: str) -> List[DeviceSpec]:
     return specs
 
 
-def _build_fleet(args, specs: List[DeviceSpec], train_missing: bool) -> FleetService:
-    """A FleetService over registered checkpoints for the given devices.
+def _fleet_models(args, specs: List[DeviceSpec], train_missing: bool) -> dict:
+    """Resolve a ``{device: model}`` mapping for a fleet of devices.
 
     With --checkpoint, one explicitly loaded model serves every device.
     Otherwise each device is served by its '<device>-<scale>[-<backend>]'
     registry entry; missing entries either abort (the default — serving
     never retrains) or are trained and registered when ``train_missing`` is
-    set.
+    set.  Devices sharing a checkpoint share one in-memory model (via
+    ``ModelRegistry.load_shared``), so their kernel queries batch together.
+    Used by both ``cdmpp fleet`` (in-process) and ``cdmpp daemon`` (TCP).
     """
     if getattr(args, "checkpoint", None):
         print(f"[cdmpp] loading checkpoint {args.checkpoint} for {len(specs)} device(s) ...")
         model = load_backend(args.checkpoint)
-        return FleetService({spec.name: model for spec in specs})
+        return {spec.name: model for spec in specs}
 
     backend = resolve_backend_name(getattr(args, "backend", None) or "cdmpp")
     registry = ModelRegistry(args.registry)
@@ -526,7 +639,13 @@ def _build_fleet(args, specs: List[DeviceSpec], train_missing: bool) -> FleetSer
         f"[cdmpp] fleet of {len(specs)} device(s) from {registry.root}: "
         + ", ".join(f"{device}<-{name}" for device, name in names.items())
     )
-    return FleetService.from_registry(registry, names)
+    load = getattr(registry, "load_shared", registry.load)
+    return {device: load(name) for device, name in names.items()}
+
+
+def _build_fleet(args, specs: List[DeviceSpec], train_missing: bool) -> FleetService:
+    """A FleetService over registered checkpoints (see :func:`_fleet_models`)."""
+    return FleetService(_fleet_models(args, specs, train_missing))
 
 
 def _open_requests(args, stream: Optional[TextIO]) -> Optional[Tuple[TextIO, Optional[TextIO]]]:
@@ -993,6 +1112,124 @@ def _cmd_serve(args, stream: Optional[TextIO] = None) -> int:
     return 0
 
 
+def _cmd_daemon(args) -> int:
+    try:
+        specs = _parse_device_list(args.devices)
+        models = _fleet_models(args, specs, train_missing=args.train_missing)
+        config = DaemonConfig(
+            host=args.host,
+            port=args.port,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_limit=args.queue_limit,
+            default_deadline_ms=args.default_deadline_ms,
+            seed=args.seed,
+            compose=args.compose,
+        )
+        daemon = ServingDaemon(models, config)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    daemon.install_signal_handlers()
+    try:
+        daemon.start()
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    host, port = daemon.address
+    # flush=True so a parent process piping stdout sees the (possibly
+    # OS-assigned) port before the daemon blocks in serve_forever().
+    print(
+        f"[cdmpp] daemon serving {', '.join(daemon.devices)} listening on {host}:{port}",
+        flush=True,
+    )
+    print(
+        f"[cdmpp] query with: cdmpp client --host {host} --port {port}  "
+        "(SIGTERM drains queued work and exits)",
+        flush=True,
+    )
+    daemon.serve_forever()
+    print("[cdmpp] daemon drained and stopped")
+    return 0
+
+
+def _print_client_ranking(results: List[dict]) -> None:
+    """Ranked per-device answers of one fanout (dicts off the wire)."""
+    fastest = results[0]["latency_s"] if results else 0.0
+    for rank, result in enumerate(results, start=1):
+        relative = result["latency_s"] / fastest if fastest > 0 else 1.0
+        print(
+            f"[cdmpp]   {rank}. {result['device']:12s} "
+            f"{result['latency_s'] * 1e3:9.3f} ms  "
+            f"({relative:4.2f}x, serial {result['serial_latency_s'] * 1e3:.3f} ms, "
+            f"{result['num_nodes']} ops / {result['num_unique_kernels']} kernels)"
+        )
+
+
+def _cmd_client(args, stream: Optional[TextIO] = None) -> int:
+    try:
+        client = DaemonClient(args.host, args.port, timeout_s=args.timeout_s)
+    except OSError as error:
+        print(
+            f"error: cannot connect to daemon at {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.health or args.stats:
+            payload = client.health() if args.health else client.stats()
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        resolved = _open_requests(args, stream)
+        if resolved is None:
+            return 2
+        stream, opened = resolved
+        answered = 0
+        try:
+            for line in stream:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                try:
+                    network = parts[0]
+                    batch_size, target = 1, None
+                    for token in parts[1:]:
+                        if token.isdigit():
+                            batch_size = int(token)
+                        else:
+                            target = token
+                    if target is not None and target not in ("all", "*"):
+                        result = client.query(
+                            network,
+                            device=target,
+                            batch_size=batch_size,
+                            deadline_ms=args.deadline_ms,
+                        )
+                        results = [result]
+                    else:
+                        results = client.predict_model(
+                            network, batch_size=batch_size, deadline_ms=args.deadline_ms
+                        )
+                except DaemonRequestError as error:
+                    print(f"error: query {line!r} failed: {error}", file=sys.stderr)
+                    continue
+                answered += 1
+                shown = results[0]["network"] if results else network
+                print(f"[cdmpp] {shown} batch={batch_size}:")
+                _print_client_ranking(results)
+        finally:
+            if opened is not None:
+                opened.close()
+        print(f"[cdmpp] {answered} queries answered by {args.host}:{args.port}")
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
 def _cmd_list(args) -> int:
     registry = ModelRegistry(args.registry)
     print("networks:  " + ", ".join(list_models()))
@@ -1120,6 +1357,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "onboard": _cmd_onboard,
             "serve": _cmd_serve,
             "fleet": _cmd_fleet,
+            "daemon": _cmd_daemon,
+            "client": _cmd_client,
             "list": _cmd_list,
         }[args.command]
         try:

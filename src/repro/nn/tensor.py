@@ -10,6 +10,7 @@ Broadcasting is handled by summing gradients over broadcast dimensions.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -19,19 +20,29 @@ from repro.errors import ModelError
 
 ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
 
-_GRAD_ENABLED = True
+# Grad mode is *thread-local*: concurrent inference threads (the serving
+# daemon's shard workers wrap predict in no_grad) must not toggle a process
+# global, or their interleaved save/restore can leave gradients disabled
+# for a training thread — a real bug this replaced.
+_GRAD_STATE = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph construction (faster inference)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph construction (faster inference).
+
+    Only affects the calling thread; other threads keep their own mode.
+    """
+    previous = _grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -63,7 +74,7 @@ class Tensor:
     ):
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._prev: Tuple[Tensor, ...] = _prev if self.requires_grad else ()
         self.name = name
@@ -114,7 +125,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
         if requires:
             out._backward = backward

@@ -8,6 +8,13 @@ feature/prediction cache, and :class:`FleetService` layers the graph-level
 tier on top — partition a model into kernels, batch the kernel queries of a
 whole device fleet into one flush, and compose per-device end-to-end
 estimates (see :mod:`repro.serving.fleet`).
+
+On top of the in-process tiers sits the network tier:
+:class:`ServingDaemon` wraps a fleet behind an async TCP request queue with
+deadline-aware micro-batching, per-device shard workers, admission control
+and graceful drain (see :mod:`repro.serving.daemon`), speaking the
+line-delimited JSON protocol of :mod:`repro.serving.protocol`;
+:class:`DaemonClient` is the matching Python client.
 """
 
 from repro.serving.cache import (
@@ -16,19 +23,30 @@ from repro.serving.cache import (
     program_cache_key,
     schedule_fingerprint,
 )
+from repro.serving.client import DaemonClient, DaemonRequestError
+from repro.serving.daemon import DaemonConfig, DaemonStats, ServingDaemon
 from repro.serving.fleet import FleetPrediction, FleetService, FleetStats
+from repro.serving.protocol import PROTOCOL_VERSION, MessageStream, ProtocolError
 from repro.serving.registry import ModelRegistry, default_registry_root
 from repro.serving.service import PendingPrediction, PredictionService, ServingStats
 
 __all__ = [
+    "DaemonClient",
+    "DaemonConfig",
+    "DaemonRequestError",
+    "DaemonStats",
     "DeviceShardedCache",
     "FleetPrediction",
     "FleetService",
     "FleetStats",
     "LRUCache",
+    "MessageStream",
     "ModelRegistry",
+    "PROTOCOL_VERSION",
     "PendingPrediction",
     "PredictionService",
+    "ProtocolError",
+    "ServingDaemon",
     "ServingStats",
     "default_registry_root",
     "program_cache_key",

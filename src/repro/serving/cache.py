@@ -15,10 +15,17 @@ the serving backend's feature space; because two *different* schedules of
 the same task share a workload key (see ``CDMPP.predict_latencies``), the key
 additionally folds in a stable fingerprint of the schedule so distinct
 kernels never alias in the cache.
+
+Both cache classes are **thread-safe**: every mutation (lookup bookkeeping,
+insert, the eviction loop, shard creation) happens under an internal lock,
+so the caches can be shared by the concurrent shard workers of
+:class:`repro.serving.daemon.ServingDaemon` without torn counters or a
+half-applied eviction.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator, Optional, Tuple, Union
 
@@ -69,6 +76,10 @@ class LRUCache:
     ``get`` refreshes recency; ``put`` evicts the least recently used entry
     once ``capacity`` is exceeded.  ``hits``/``misses``/``evictions`` feed the
     serving statistics surfaced by :class:`repro.serving.PredictionService`.
+
+    All operations are atomic under an internal lock, including the eviction
+    loop inside :meth:`put`, so concurrent readers can never observe a cache
+    above capacity or lose a counter increment.
     """
 
     def __init__(self, capacity: int = 4096):
@@ -76,55 +87,65 @@ class LRUCache:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __iter__(self) -> Iterator[Hashable]:
-        return iter(self._entries)
+        with self._lock:
+            return iter(list(self._entries))
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, counting a hit or a miss and refreshing recency."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key`` without touching recency or the hit/miss counters."""
-        return self._entries.get(key, default)
+        with self._lock:
+            return self._entries.get(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``, evicting the LRU entry when full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it existed."""
-        return self._entries.pop(key, _MISSING) is not _MISSING
+        with self._lock:
+            return self._entries.pop(key, _MISSING) is not _MISSING
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; use :meth:`reset_stats`)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     @property
     def hit_rate(self) -> float:
@@ -134,14 +155,15 @@ class LRUCache:
 
     def stats(self) -> dict:
         """Counters as a plain dict (for logging / the CLI stats line)."""
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }
 
     def __repr__(self) -> str:
         return (
@@ -164,6 +186,11 @@ class DeviceShardedCache:
     Shards are created on demand, each with ``capacity_per_device`` entries,
     so total capacity grows with the fleet instead of devices competing for
     one LRU.
+
+    Shard creation and the shard table are guarded by a lock (two threads
+    racing to create the same device's shard must end up sharing one), and
+    per-entry operations inherit each shard's own atomicity; a device-wide
+    :meth:`invalidate_device` drops the whole shard in one locked step.
     """
 
     def __init__(self, capacity_per_device: int = 16384):
@@ -173,6 +200,7 @@ class DeviceShardedCache:
             )
         self.capacity_per_device = int(capacity_per_device)
         self._shards: "OrderedDict[str, LRUCache]" = OrderedDict()
+        self._lock = threading.RLock()
 
     @staticmethod
     def device_of(key: CacheKey) -> str:
@@ -182,21 +210,28 @@ class DeviceShardedCache:
     def shard(self, device: Union[str, DeviceSpec]) -> LRUCache:
         """The (lazily created) shard serving one device."""
         name = device if isinstance(device, str) else device.name
-        cache = self._shards.get(name)
-        if cache is None:
-            cache = self._shards[name] = LRUCache(self.capacity_per_device)
-        return cache
+        with self._lock:
+            cache = self._shards.get(name)
+            if cache is None:
+                cache = self._shards[name] = LRUCache(self.capacity_per_device)
+            return cache
 
     @property
     def devices(self) -> Tuple[str, ...]:
         """Names of the devices that currently have a shard."""
-        return tuple(self._shards)
+        with self._lock:
+            return tuple(self._shards)
+
+    def _shards_snapshot(self) -> Tuple[LRUCache, ...]:
+        with self._lock:
+            return tuple(self._shards.values())
 
     def __len__(self) -> int:
-        return sum(len(shard) for shard in self._shards.values())
+        return sum(len(shard) for shard in self._shards_snapshot())
 
     def __contains__(self, key: CacheKey) -> bool:
-        shard = self._shards.get(self.device_of(key))
+        with self._lock:
+            shard = self._shards.get(self.device_of(key))
         return shard is not None and key in shard
 
     def get(self, key: CacheKey, default: Any = None) -> Any:
@@ -205,7 +240,8 @@ class DeviceShardedCache:
 
     def peek(self, key: CacheKey, default: Any = None) -> Any:
         """Look up ``key`` without touching recency or counters."""
-        shard = self._shards.get(self.device_of(key))
+        with self._lock:
+            shard = self._shards.get(self.device_of(key))
         return default if shard is None else shard.peek(key, default)
 
     def put(self, key: CacheKey, value: Any) -> None:
@@ -214,47 +250,51 @@ class DeviceShardedCache:
 
     def invalidate(self, key: CacheKey) -> bool:
         """Drop one entry; returns whether it existed."""
-        shard = self._shards.get(self.device_of(key))
+        with self._lock:
+            shard = self._shards.get(self.device_of(key))
         return shard is not None and shard.invalidate(key)
 
     def invalidate_device(self, device: Union[str, DeviceSpec]) -> int:
         """Drop every entry of one device's shard; returns how many were dropped.
 
         Other devices' shards — including their recency order and counters —
-        are untouched.
+        are untouched.  The drop is atomic: a concurrent ``put`` lands either
+        entirely before or entirely after it, never in a half-cleared shard.
         """
         name = device if isinstance(device, str) else device.name
-        shard = self._shards.get(name)
+        with self._lock:
+            shard = self._shards.get(name)
         if shard is None:
             return 0
-        dropped = len(shard)
-        shard.clear()
+        with shard._lock:  # count + clear as one step
+            dropped = len(shard._entries)
+            shard._entries.clear()
         return dropped
 
     def clear(self) -> None:
         """Drop every entry of every shard (counters are kept)."""
-        for shard in self._shards.values():
+        for shard in self._shards_snapshot():
             shard.clear()
 
     def reset_stats(self) -> None:
         """Zero the counters of every shard."""
-        for shard in self._shards.values():
+        for shard in self._shards_snapshot():
             shard.reset_stats()
 
     @property
     def hits(self) -> int:
         """Hits summed over all shards."""
-        return sum(shard.hits for shard in self._shards.values())
+        return sum(shard.hits for shard in self._shards_snapshot())
 
     @property
     def misses(self) -> int:
         """Misses summed over all shards."""
-        return sum(shard.misses for shard in self._shards.values())
+        return sum(shard.misses for shard in self._shards_snapshot())
 
     @property
     def evictions(self) -> int:
         """Evictions summed over all shards."""
-        return sum(shard.evictions for shard in self._shards.values())
+        return sum(shard.evictions for shard in self._shards_snapshot())
 
     @property
     def hit_rate(self) -> float:
@@ -264,14 +304,16 @@ class DeviceShardedCache:
 
     def stats(self) -> dict:
         """Aggregate counters plus a per-device breakdown."""
+        with self._lock:
+            shards = dict(self._shards)
         return {
             "size": len(self),
-            "capacity": self.capacity_per_device * max(len(self._shards), 1),
+            "capacity": self.capacity_per_device * max(len(shards), 1),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
-            "devices": {name: shard.stats() for name, shard in self._shards.items()},
+            "devices": {name: shard.stats() for name, shard in shards.items()},
         }
 
     def __repr__(self) -> str:

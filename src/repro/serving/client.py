@@ -1,0 +1,187 @@
+"""A thin Python client for the ``cdmpp`` serving daemon.
+
+:class:`DaemonClient` speaks the line-delimited JSON protocol of
+:mod:`repro.serving.protocol` over one TCP connection and exposes the
+daemon's four operations as methods.  Failures come back as
+:class:`DaemonRequestError` carrying the wire error code, so callers can
+distinguish backpressure (``overloaded`` — retry after
+``error.retry_after_ms``) from a shed deadline (``deadline_exceeded``) or a
+bad request.
+
+The client tags every request with a monotonically increasing ``id`` and
+matches responses by that id, buffering out-of-order arrivals — the daemon's
+device shards answer independently, so pipelined responses may interleave.
+One client instance may be shared across threads (each call holds the
+client lock for its full round-trip); for *concurrent* in-flight requests,
+open one client per thread — connections are cheap.
+
+Example::
+
+    with DaemonClient("127.0.0.1", 7077) as client:
+        result = client.query("bert_tiny", device="t4", deadline_ms=50)
+        print(result["latency_s"])
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ServingError
+from repro.serving.protocol import E_OVERLOADED, MessageStream
+
+
+class DaemonRequestError(ServingError):
+    """A request the daemon answered with an error payload.
+
+    ``code`` is one of :data:`repro.serving.protocol.ERROR_CODES`;
+    ``retry_after_ms`` is set for ``overloaded`` rejections.
+    """
+
+    def __init__(self, code: str, message: str, retry_after_ms: Optional[float] = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.retry_after_ms = retry_after_ms
+
+
+class DaemonClient:
+    """One TCP connection to a :class:`repro.serving.daemon.ServingDaemon`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7077, timeout_s: float = 60.0):
+        sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._stream = MessageStream(sock)
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._responses: Dict[Any, Dict[str, Any]] = {}
+        self.host = host
+        self.port = port
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            request["id"] = request_id
+            if not self._stream.send(request):
+                raise ServingError("daemon connection is closed")
+            while request_id not in self._responses:
+                response = self._stream.recv()
+                if response is None:
+                    raise ServingError("daemon closed the connection mid-request")
+                self._responses[response.get("id")] = response
+            response = self._responses.pop(request_id)
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        raise DaemonRequestError(
+            error.get("code", "internal"),
+            error.get("message", "unknown daemon error"),
+            retry_after_ms=response.get("retry_after_ms")
+            if error.get("code") == E_OVERLOADED
+            else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        network: str,
+        device: str,
+        batch_size: int = 1,
+        deadline_ms: Optional[float] = None,
+        seed: Optional[int] = None,
+        compose: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """End-to-end latency of ``network`` on ``device``.
+
+        Returns the response payload: ``latency_s``, ``serial_latency_s``,
+        ``per_kernel_latency_s``, ``num_nodes``, ``num_unique_kernels``.
+        """
+        request: Dict[str, Any] = {
+            "op": "query",
+            "network": network,
+            "device": device,
+            "batch_size": batch_size,
+        }
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
+        if seed is not None:
+            request["seed"] = seed
+        if compose is not None:
+            request["compose"] = compose
+        return self._call(request)
+
+    def predict_model(
+        self,
+        network: str,
+        devices: Optional[Sequence[str]] = None,
+        batch_size: int = 1,
+        deadline_ms: Optional[float] = None,
+        seed: Optional[int] = None,
+        compose: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Rank ``network`` across ``devices`` (default: all served devices).
+
+        Returns per-device result dicts sorted fastest-first.  Devices that
+        failed individually are reported under ``errors`` in the raw payload;
+        use :meth:`predict_model_raw` to see them.
+        """
+        return self.predict_model_raw(
+            network,
+            devices=devices,
+            batch_size=batch_size,
+            deadline_ms=deadline_ms,
+            seed=seed,
+            compose=compose,
+        )["results"]
+
+    def predict_model_raw(
+        self,
+        network: str,
+        devices: Optional[Sequence[str]] = None,
+        batch_size: int = 1,
+        deadline_ms: Optional[float] = None,
+        seed: Optional[int] = None,
+        compose: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Like :meth:`predict_model` but returns the full response payload."""
+        request: Dict[str, Any] = {
+            "op": "predict-model",
+            "network": network,
+            "batch_size": batch_size,
+        }
+        if devices is not None:
+            request["devices"] = list(devices)
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
+        if seed is not None:
+            request["seed"] = seed
+        if compose is not None:
+            request["compose"] = compose
+        return self._call(request)
+
+    def stats(self) -> Dict[str, Any]:
+        """Daemon counters plus per-shard serving statistics."""
+        return self._call({"op": "stats"})
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness probe: status, uptime, served devices, queue depth."""
+        return self._call({"op": "health"})
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        self._stream.close()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"DaemonClient({self.host}:{self.port})"

@@ -1,0 +1,826 @@
+"""The ``cdmpp`` serving daemon: concurrent, deadline-aware latency serving.
+
+:class:`repro.serving.PredictionService` and :class:`FleetService` are
+synchronous, one caller at a time.  :class:`ServingDaemon` turns them into a
+long-running concurrent system — the tier adaptive optimizers and TLP-style
+tuners actually call from many processes at once:
+
+* **async request queue** — clients speak the line-delimited JSON protocol of
+  :mod:`repro.serving.protocol` over TCP; every connection gets a reader
+  thread that validates requests and routes them onto bounded per-device
+  queues, returning immediately to read the next pipelined request;
+* **deadline-aware micro-batching** — each device shard worker collects
+  requests until the batch is full OR the oldest request has waited
+  ``max_wait_ms``, then answers the whole batch through one
+  :meth:`FleetService.predict_model_batch` flush.  Requests carrying a
+  ``deadline_ms`` jump the queue (the batch window closes early and they are
+  served first); a request whose deadline expires while queued is **shed**
+  with ``deadline_exceeded`` instead of being answered late;
+* **concurrent per-device shard workers** — one worker thread per served
+  device, each owning a single-device :class:`FleetService` over that
+  device's model, so distinct models predict in parallel and one slow
+  device cannot stall another's queue;
+* **admission control / backpressure** — the total number of queued requests
+  is bounded by ``queue_limit``; beyond it new work is rejected immediately
+  with an ``overloaded`` error and a ``retry_after_ms`` hint (503-style)
+  rather than queued into unbounded latency;
+* **graceful drain** — SIGTERM/SIGINT (or :meth:`stop`) stop admission,
+  answer everything already queued, then close; clients never see a
+  half-written response.
+
+Answers are **bit-identical** to in-process serving: a shard worker runs the
+very same partition → batch → compose path as a direct
+``FleetService.predict_model`` call on the same model, and the JSON wire
+format round-trips doubles exactly.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.devices.spec import DeviceSpec, get_device
+from repro.errors import ReproError, ServingError
+from repro.graph.zoo import resolve_model_name
+from repro.replay.e2e import COMPOSE_MODES
+from repro.serving.fleet import FleetPrediction, FleetService
+from repro.serving.protocol import (
+    E_BAD_REQUEST,
+    E_DEADLINE,
+    E_INTERNAL,
+    E_OVERLOADED,
+    E_SHUTTING_DOWN,
+    OPS,
+    PROTOCOL_VERSION,
+    MessageStream,
+    ProtocolError,
+    error_payload,
+    ok_payload,
+)
+from repro.serving.service import ModelLike
+from repro.version import __version__
+
+import socket
+
+
+@dataclass
+class DaemonConfig:
+    """Tunables of one :class:`ServingDaemon`.
+
+    ``max_wait_ms`` trades latency for batching efficiency: a larger window
+    lets more concurrent requests coalesce into one vectorized predictor
+    call (higher throughput), a smaller one bounds the queueing delay added
+    to every request (lower p99).  ``max_batch_size`` caps how much work one
+    flush may take regardless of the window.  See ``docs/daemon.md``.
+    """
+
+    host: str = "127.0.0.1"
+    #: Port to bind; 0 asks the OS for an ephemeral port (see ``address``).
+    port: int = 0
+    #: Flush a shard's batch at this many requests even mid-window.
+    max_batch_size: int = 32
+    #: Flush a shard's batch once its oldest request has waited this long.
+    max_wait_ms: float = 10.0
+    #: Total queued requests across all shards; beyond it -> ``overloaded``.
+    queue_limit: int = 256
+    #: Hint returned with ``overloaded`` rejections.
+    retry_after_ms: float = 50.0
+    #: Deadline applied to requests that do not carry ``deadline_ms`` (None = no deadline).
+    default_deadline_ms: Optional[float] = None
+    #: How long :meth:`ServingDaemon.stop` waits for workers to drain.
+    drain_timeout_s: float = 30.0
+    #: Defaults a request may override per call.
+    seed: int = 0
+    compose: str = "replay"
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ServingError(f"max_batch_size must be positive, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ServingError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_limit <= 0:
+            raise ServingError(f"queue_limit must be positive, got {self.queue_limit}")
+        if self.compose not in COMPOSE_MODES:
+            raise ServingError(
+                f"unknown composition mode {self.compose!r}; expected one of {COMPOSE_MODES}"
+            )
+
+
+@dataclass
+class DaemonStats:
+    """Lifetime counters of one :class:`ServingDaemon` (guarded by its lock)."""
+
+    connections: int = 0
+    requests: int = 0
+    queries: int = 0
+    model_queries: int = 0
+    health_checks: int = 0
+    stats_requests: int = 0
+    responses: int = 0
+    batches: int = 0
+    rejected_overloaded: int = 0
+    shed_deadline: int = 0
+    rejected_shutting_down: int = 0
+    bad_requests: int = 0
+    internal_errors: int = 0
+
+
+class _Fanout:
+    """Collects the per-device answers of one ``predict-model`` request."""
+
+    def __init__(
+        self,
+        daemon: "ServingDaemon",
+        stream: MessageStream,
+        request_id: Any,
+        network: str,
+        batch_size: int,
+        expected: int,
+    ):
+        self._daemon = daemon
+        self._stream = stream
+        self._request_id = request_id
+        self._network = network
+        self._batch_size = batch_size
+        self._remaining = expected
+        self._lock = threading.Lock()
+        self._results: List[FleetPrediction] = []
+        self._errors: Dict[str, Dict[str, str]] = {}
+
+    def add(self, prediction: FleetPrediction) -> None:
+        with self._lock:
+            self._results.append(prediction)
+            self._remaining -= 1
+            done = self._remaining == 0
+        if done:
+            self._respond()
+
+    def add_error(self, device: str, code: str, message: str) -> None:
+        with self._lock:
+            self._errors[device] = {"code": code, "message": message}
+            self._remaining -= 1
+            done = self._remaining == 0
+        if done:
+            self._respond()
+
+    def _respond(self) -> None:
+        results = sorted(self._results, key=lambda p: p.predicted_latency_s)
+        if not results:
+            first = next(iter(self._errors.values()))
+            payload = error_payload(
+                first["code"], first["message"], self._request_id, devices=self._errors
+            )
+        else:
+            payload = ok_payload(
+                self._request_id,
+                op="predict-model",
+                network=self._network,
+                batch_size=self._batch_size,
+                results=[_prediction_fields(p) for p in results],
+                errors=self._errors,
+            )
+        self._daemon._send(self._stream, payload)
+
+
+def _prediction_fields(prediction: FleetPrediction) -> Dict[str, Any]:
+    return {
+        "network": prediction.model,
+        "device": prediction.device,
+        "latency_s": prediction.predicted_latency_s,
+        "serial_latency_s": prediction.serial_latency_s,
+        "per_kernel_latency_s": dict(prediction.per_kernel_latency_s),
+        "num_nodes": prediction.num_nodes,
+        "num_unique_kernels": prediction.num_unique_kernels,
+        "compose": prediction.compose,
+    }
+
+
+class _WorkItem:
+    """One routed request (or one device leg of a fanout) awaiting a batch."""
+
+    __slots__ = (
+        "op",
+        "request_id",
+        "stream",
+        "network",
+        "device",
+        "batch_size",
+        "seed",
+        "compose",
+        "deadline",
+        "enqueued_at",
+        "collector",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        request_id: Any,
+        stream: MessageStream,
+        network: str,
+        device: str,
+        batch_size: int,
+        seed: Union[int, str, None],
+        compose: str,
+        deadline: Optional[float],
+        collector: Optional[_Fanout] = None,
+    ):
+        self.op = op
+        self.request_id = request_id
+        self.stream = stream
+        self.network = network
+        self.device = device
+        self.batch_size = batch_size
+        self.seed = seed
+        self.compose = compose
+        self.deadline = deadline  # absolute time.monotonic() instant, or None
+        self.enqueued_at = time.monotonic()
+        self.collector = collector
+
+
+class _ShardWorker(threading.Thread):
+    """One device's queue + batching loop, over its own FleetService."""
+
+    def __init__(self, daemon: "ServingDaemon", spec: DeviceSpec, model: ModelLike):
+        super().__init__(name=f"cdmpp-shard-{spec.name}", daemon=True)
+        self.daemon_ref = daemon
+        self.spec = spec
+        self.fleet = FleetService(
+            {spec.name: model},
+            max_batch_size=max(512, daemon.config.max_batch_size * 64),
+            gap_s=daemon.gap_s,
+        )
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._stop_requested = False
+        self._drain = True
+
+    # -- queue side (called from connection reader threads) -------------
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def enqueue(self, item: _WorkItem) -> None:
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def request_stop(self, drain: bool = True) -> None:
+        with self._cond:
+            self._stop_requested = True
+            self._drain = drain
+            self._cond.notify_all()
+
+    # -- batching loop ---------------------------------------------------
+    #: How far *before* the nearest deadline the batch window closes.  A
+    #: window that closed exactly at the deadline would always wake past it
+    #: by scheduling jitter and shed the very request it tried to rescue.
+    _DEADLINE_FLUSH_LEAD_S = 0.005
+
+    def _window_remaining(self) -> float:
+        """Seconds until this shard must flush (<= 0 = flush now).
+
+        The window closes at ``oldest arrival + max_wait_ms`` — or earlier,
+        shortly before the nearest request deadline: a request that cannot
+        afford the full window jumps the queue instead of expiring inside
+        it.
+        """
+        now = time.monotonic()
+        oldest = min(item.enqueued_at for item in self._items)
+        flush_at = oldest + self.daemon_ref.config.max_wait_ms / 1000.0
+        deadlines = [item.deadline for item in self._items if item.deadline is not None]
+        if deadlines:
+            flush_at = min(flush_at, min(deadlines) - self._DEADLINE_FLUSH_LEAD_S)
+        return flush_at - now
+
+    def _take_batch(self) -> Tuple[List[_WorkItem], List[_WorkItem]]:
+        """Split the queue into (batch to serve, expired items to shed).
+
+        Deadline-bearing items sort first (earliest deadline first), so a
+        request about to expire is served ahead of patient FIFO traffic.
+        """
+        items = sorted(
+            self._items,
+            key=lambda i: (i.deadline is None, i.deadline or 0.0, i.enqueued_at),
+        )
+        now = time.monotonic()
+        shed = [i for i in items if i.deadline is not None and i.deadline <= now]
+        expired = set(map(id, shed))
+        alive = [i for i in items if id(i) not in expired]
+        batch = alive[: self.daemon_ref.config.max_batch_size]
+        self._items = deque(alive[self.daemon_ref.config.max_batch_size :])
+        return batch, shed
+
+    def run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._items and not self._stop_requested:
+                    self._cond.wait()
+                if not self._items and self._stop_requested:
+                    return  # stopped and fully drained
+                if not self._stop_requested:
+                    # Batching window: wait for more work until the batch
+                    # is full, the window closes, or a deadline presses.
+                    while (
+                        len(self._items) < self.daemon_ref.config.max_batch_size
+                        and not self._stop_requested
+                    ):
+                        timeout = self._window_remaining()
+                        if timeout <= 0:
+                            break
+                        self._cond.wait(timeout)
+                # Re-check after the window wait: a no-drain stop must fail
+                # queued work even if it arrived mid-window.
+                if self._stop_requested and not self._drain:
+                    leftovers, self._items = list(self._items), deque()
+                else:
+                    batch, shed = self._take_batch()
+                    leftovers = None
+            if leftovers is not None:
+                for item in leftovers:
+                    self.daemon_ref._fail_item(
+                        item, E_SHUTTING_DOWN, "daemon is shutting down", counted="shutdown"
+                    )
+                return
+            for item in shed:
+                self.daemon_ref._fail_item(
+                    item,
+                    E_DEADLINE,
+                    f"deadline expired after {1e3 * (time.monotonic() - item.enqueued_at):.1f}ms in queue",
+                    counted="deadline",
+                )
+            if batch:
+                self._process(batch)
+
+    def _process(self, batch: List[_WorkItem]) -> None:
+        # One predict_model_batch per (seed, compose) group: all kernel
+        # queries of the group are answered by a single batched flush.
+        groups: Dict[tuple, List[_WorkItem]] = {}
+        for item in batch:
+            groups.setdefault((repr(item.seed), item.compose), []).append(item)
+        for items in groups.values():
+            try:
+                predictions = self.fleet.predict_model_batch(
+                    [(item.network, self.spec, item.batch_size) for item in items],
+                    seed=items[0].seed,
+                    compose=items[0].compose,
+                )
+            except ReproError as error:
+                for item in items:
+                    self.daemon_ref._fail_item(item, E_INTERNAL, str(error), counted="internal")
+                continue
+            self.daemon_ref._count_batch()
+            for item, prediction in zip(items, predictions):
+                self.daemon_ref._complete_item(item, prediction)
+
+
+class ServingDaemon:
+    """A long-running TCP daemon serving latency queries for a device fleet.
+
+    ``models`` maps device names to fitted cost models (any backend the
+    serving tier accepts); alternatively pass one model plus ``devices`` to
+    serve the same cross-device model everywhere.  Each device gets its own
+    shard worker and single-device :class:`FleetService`, so distinct models
+    predict concurrently while every shard keeps the full batch-and-cache
+    serving semantics.
+
+    Lifecycle::
+
+        daemon = ServingDaemon({"t4": model}, DaemonConfig(port=0))
+        daemon.start()                  # binds, spawns workers + acceptor
+        host, port = daemon.address     # ephemeral port resolved here
+        ...
+        daemon.stop()                   # drain: answer queued work, then close
+
+    ``serve_forever()`` blocks until :meth:`request_shutdown` (which the
+    SIGTERM/SIGINT handlers installed by :meth:`install_signal_handlers`
+    call), then drains and returns — the CLI's ``cdmpp daemon`` loop.
+    """
+
+    def __init__(
+        self,
+        models: Union[ModelLike, Mapping[str, ModelLike]],
+        config: Optional[DaemonConfig] = None,
+        devices: Optional[Sequence[str]] = None,
+        gap_s: float = 2e-6,
+    ):
+        self.config = config or DaemonConfig()
+        self.gap_s = float(gap_s)
+        if not isinstance(models, Mapping):
+            if not devices:
+                raise ServingError(
+                    "a single model needs devices=: ServingDaemon(model, devices=['t4', ...])"
+                )
+            models = {get_device(name).name: models for name in devices}
+        elif devices is not None:
+            raise ServingError("pass either a {device: model} mapping or devices=, not both")
+        if not models:
+            raise ServingError("ServingDaemon needs at least one device")
+        self._shards: Dict[str, _ShardWorker] = {}
+        for name, model in models.items():
+            spec = get_device(name)
+            self._shards[spec.name] = _ShardWorker(self, spec, model)
+        self.stats = DaemonStats()
+        self._stats_lock = threading.Lock()
+        self._admission_lock = threading.Lock()
+        self._streams: "set[MessageStream]" = set()
+        self._streams_lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._accepting = False
+        self._started = False
+        self._stopped = False
+        self._started_at: Optional[float] = None
+        self._shutdown_event = threading.Event()
+        self._lifecycle_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        names: Union[str, Mapping[str, str]],
+        devices: Optional[Sequence[str]] = None,
+        config: Optional[DaemonConfig] = None,
+        **kwargs,
+    ) -> "ServingDaemon":
+        """Build a daemon from registry checkpoints (mirrors FleetService).
+
+        ``names`` is a ``{device: checkpoint}`` mapping, or one checkpoint
+        name combined with ``devices``; same-checkpoint devices share one
+        in-memory model via ``ModelRegistry.load_shared``.
+        """
+        load = getattr(registry, "load_shared", registry.load)
+        if isinstance(names, Mapping):
+            if devices is not None:
+                raise ServingError("pass either a {device: name} mapping or devices=, not both")
+            return cls({device: load(name) for device, name in names.items()}, config, **kwargs)
+        if not devices:
+            raise ServingError("one checkpoint name needs devices= to know what to serve")
+        model = load(names)
+        return cls({get_device(d).name: model for d in devices}, config, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingDaemon":
+        """Bind the socket, start shard workers and the accept loop."""
+        with self._lifecycle_lock:
+            if self._started:
+                raise ServingError("daemon already started")
+            self._listener = socket.create_server(
+                (self.config.host, self.config.port), backlog=128
+            )
+            self._accepting = True
+            self._started = True
+            self._started_at = time.monotonic()
+            for worker in self._shards.values():
+                worker.start()
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="cdmpp-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); the OS-assigned port when port=0 was asked."""
+        if self._listener is None:
+            raise ServingError("daemon not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def running(self) -> bool:
+        """Whether the daemon is accepting new work."""
+        return self._started and self._accepting and not self._stopped
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued across every shard."""
+        return sum(worker.pending for worker in self._shards.values())
+
+    @property
+    def devices(self) -> List[str]:
+        """Sorted device names this daemon serves."""
+        return sorted(self._shards)
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (main thread only)."""
+        signal.signal(signal.SIGTERM, self._on_signal)
+        signal.signal(signal.SIGINT, self._on_signal)
+
+    def _on_signal(self, signum, frame) -> None:  # pragma: no cover - exercised via CLI test
+        self.request_shutdown()
+
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to drain and stop (signal-handler safe)."""
+        self._shutdown_event.set()
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`request_shutdown`, then drain and stop."""
+        self._shutdown_event.wait()
+        self.stop(drain=True)
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the daemon.
+
+        With ``drain=True`` (the SIGTERM path) admission stops first, every
+        already-queued request is answered, and only then are connections
+        closed.  With ``drain=False`` queued requests are failed with
+        ``shutting_down``.  Idempotent.
+        """
+        with self._lifecycle_lock:
+            if not self._started or self._stopped:
+                return
+            self._accepting = False
+            if self._listener is not None:
+                try:
+                    self._listener.close()
+                except OSError:
+                    pass
+            for worker in self._shards.values():
+                worker.request_stop(drain=drain)
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            for worker in self._shards.values():
+                worker.join(timeout=max(0.0, deadline - time.monotonic()))
+            if self._accept_thread is not None:
+                self._accept_thread.join(timeout=1.0)
+            with self._streams_lock:
+                streams = list(self._streams)
+                self._streams.clear()
+            for stream in streams:
+                stream.close()
+            self._stopped = True
+            self._shutdown_event.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._accepting:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            stream = MessageStream(conn)
+            with self._streams_lock:
+                self._streams.add(stream)
+            with self._stats_lock:
+                self.stats.connections += 1
+            threading.Thread(
+                target=self._client_loop, args=(stream,), name="cdmpp-conn", daemon=True
+            ).start()
+
+    def _client_loop(self, stream: MessageStream) -> None:
+        try:
+            while True:
+                try:
+                    message = stream.recv()
+                except ProtocolError as error:
+                    with self._stats_lock:
+                        self.stats.bad_requests += 1
+                    stream.send(error_payload(E_BAD_REQUEST, str(error)))
+                    return
+                if message is None:
+                    return
+                self._dispatch(message, stream)
+        finally:
+            with self._streams_lock:
+                self._streams.discard(stream)
+            stream.close()
+
+    def _send(self, stream: MessageStream, payload: Dict[str, Any]) -> None:
+        if stream.send(payload):
+            with self._stats_lock:
+                self.stats.responses += 1
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, message: Dict[str, Any], stream: MessageStream) -> None:
+        request_id = message.get("id")
+        with self._stats_lock:
+            self.stats.requests += 1
+        op = message.get("op")
+        if op not in OPS:
+            with self._stats_lock:
+                self.stats.bad_requests += 1
+            self._send(
+                stream,
+                error_payload(
+                    E_BAD_REQUEST, f"unknown op {op!r}; expected one of {OPS}", request_id
+                ),
+            )
+            return
+        if op == "health":
+            with self._stats_lock:
+                self.stats.health_checks += 1
+            self._send(stream, self._health_payload(request_id))
+            return
+        if op == "stats":
+            with self._stats_lock:
+                self.stats.stats_requests += 1
+            self._send(stream, self._stats_payload(request_id))
+            return
+        if not self._accepting:
+            with self._stats_lock:
+                self.stats.rejected_shutting_down += 1
+            self._send(
+                stream,
+                error_payload(E_SHUTTING_DOWN, "daemon is shutting down", request_id),
+            )
+            return
+        try:
+            network, batch_size, seed, compose, deadline = self._parse_query_common(message)
+            if op == "query":
+                specs = [self._served_device(message.get("device"))]
+            else:
+                requested = message.get("devices")
+                if requested is None:
+                    specs = [self._shards[name].spec for name in self.devices]
+                elif not isinstance(requested, (list, tuple)) or not requested:
+                    raise ServingError("'devices' must be a non-empty list of device names")
+                else:
+                    specs, seen = [], set()
+                    for name in requested:
+                        spec = self._served_device(name)
+                        if spec.name not in seen:
+                            seen.add(spec.name)
+                            specs.append(spec)
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            with self._stats_lock:
+                self.stats.bad_requests += 1
+            self._send(stream, error_payload(E_BAD_REQUEST, str(error), request_id))
+            return
+
+        # Admission control: the whole fanout is admitted or rejected as one.
+        with self._admission_lock:
+            if self.pending + len(specs) > self.config.queue_limit:
+                admitted = False
+            else:
+                admitted = True
+                collector = (
+                    _Fanout(self, stream, request_id, network, batch_size, len(specs))
+                    if op == "predict-model"
+                    else None
+                )
+                for spec in specs:
+                    item = _WorkItem(
+                        op,
+                        request_id,
+                        stream,
+                        network,
+                        spec.name,
+                        batch_size,
+                        seed,
+                        compose,
+                        deadline,
+                        collector,
+                    )
+                    self._shards[spec.name].enqueue(item)
+        if not admitted:
+            with self._stats_lock:
+                self.stats.rejected_overloaded += 1
+            self._send(
+                stream,
+                error_payload(
+                    E_OVERLOADED,
+                    f"daemon is saturated ({self.config.queue_limit} requests queued)",
+                    request_id,
+                    retry_after_ms=self.config.retry_after_ms,
+                ),
+            )
+            return
+        with self._stats_lock:
+            if op == "query":
+                self.stats.queries += 1
+            else:
+                self.stats.model_queries += 1
+
+    def _parse_query_common(self, message: Dict[str, Any]):
+        network = resolve_model_name(str(message["network"]))
+        batch_size = int(message.get("batch_size", 1))
+        if batch_size <= 0:
+            raise ServingError(f"batch_size must be positive, got {batch_size}")
+        seed = message.get("seed", self.config.seed)
+        compose = message.get("compose", self.config.compose)
+        if compose not in COMPOSE_MODES:
+            raise ServingError(
+                f"unknown composition mode {compose!r}; expected one of {COMPOSE_MODES}"
+            )
+        deadline_ms = message.get("deadline_ms", self.config.default_deadline_ms)
+        deadline = None
+        if deadline_ms is not None:
+            deadline = time.monotonic() + float(deadline_ms) / 1000.0
+        return network, batch_size, seed, compose, deadline
+
+    def _served_device(self, name: Any) -> DeviceSpec:
+        if not name:
+            raise ServingError(
+                f"request needs a 'device'; this daemon serves: {', '.join(self.devices)}"
+            )
+        spec = get_device(str(name))
+        if spec.name not in self._shards:
+            raise ServingError(
+                f"device {spec.name!r} is not served by this daemon "
+                f"(devices: {', '.join(self.devices)})"
+            )
+        return spec
+
+    # ------------------------------------------------------------------
+    # Worker callbacks
+    # ------------------------------------------------------------------
+    def _complete_item(self, item: _WorkItem, prediction: FleetPrediction) -> None:
+        if item.collector is not None:
+            item.collector.add(prediction)
+            return
+        self._send(
+            item.stream,
+            ok_payload(
+                item.request_id,
+                op="query",
+                batch_size=item.batch_size,
+                **_prediction_fields(prediction),
+            ),
+        )
+
+    def _fail_item(self, item: _WorkItem, code: str, message: str, counted: str) -> None:
+        with self._stats_lock:
+            if counted == "deadline":
+                self.stats.shed_deadline += 1
+            elif counted == "shutdown":
+                self.stats.rejected_shutting_down += 1
+            elif counted == "internal":
+                self.stats.internal_errors += 1
+        if item.collector is not None:
+            item.collector.add_error(item.device, code, message)
+            return
+        self._send(item.stream, error_payload(code, message, item.request_id))
+
+    def _count_batch(self) -> None:
+        with self._stats_lock:
+            self.stats.batches += 1
+
+    # ------------------------------------------------------------------
+    # Introspection payloads
+    # ------------------------------------------------------------------
+    def _health_payload(self, request_id: Any) -> Dict[str, Any]:
+        return ok_payload(
+            request_id,
+            op="health",
+            status="serving" if self._accepting else "draining",
+            protocol=PROTOCOL_VERSION,
+            version=__version__,
+            devices=self.devices,
+            pending=self.pending,
+            uptime_s=(time.monotonic() - self._started_at) if self._started_at else 0.0,
+        )
+
+    def _stats_payload(self, request_id: Any) -> Dict[str, Any]:
+        with self._stats_lock:
+            daemon = {
+                "connections": self.stats.connections,
+                "requests": self.stats.requests,
+                "queries": self.stats.queries,
+                "model_queries": self.stats.model_queries,
+                "health_checks": self.stats.health_checks,
+                "stats_requests": self.stats.stats_requests,
+                "responses": self.stats.responses,
+                "batches": self.stats.batches,
+                "rejected_overloaded": self.stats.rejected_overloaded,
+                "shed_deadline": self.stats.shed_deadline,
+                "rejected_shutting_down": self.stats.rejected_shutting_down,
+                "bad_requests": self.stats.bad_requests,
+                "internal_errors": self.stats.internal_errors,
+            }
+        daemon["pending"] = self.pending
+        daemon["uptime_s"] = (time.monotonic() - self._started_at) if self._started_at else 0.0
+        shards = {
+            name: worker.fleet.describe_stats() for name, worker in self._shards.items()
+        }
+        return ok_payload(request_id, op="stats", daemon=daemon, shards=shards)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServingDaemon":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop(drain=True)
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else ("stopped" if self._stopped else "new")
+        addr = ""
+        if self._listener is not None and not self._stopped:
+            try:
+                host, port = self.address
+                addr = f", address={host}:{port}"
+            except (ServingError, OSError):
+                pass
+        return f"ServingDaemon(devices={self.devices}, state={state}{addr})"

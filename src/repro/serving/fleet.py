@@ -34,8 +34,9 @@ answer across every registered device.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -140,6 +141,9 @@ class FleetService:
         )
         self._dfg_cache = LRUCache(64)
         self.stats = FleetStats()
+        # Guards the fleet-level counters; the heavy lifting (queue, caches)
+        # is protected by the underlying PredictionService's own lock.
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction / fleet management
@@ -222,7 +226,8 @@ class FleetService:
                     "(Trainer.clone / OnboardingPipeline) instead of the served object"
                 )
         self._service.swap_model(name, adapted)
-        self.stats.devices_onboarded += 1
+        with self._stats_lock:
+            self.stats.devices_onboarded += 1
 
     def service_for_kernels(self) -> PredictionService:
         """The shared per-kernel service (for direct program-level queries)."""
@@ -269,18 +274,24 @@ class FleetService:
             # Caller-built graphs are mutable, so they are partitioned fresh.
             if len(model) == 0:
                 raise ServingError(f"cannot predict an empty model graph {model.name!r}")
-            self.stats.partitions += 1
+            with self._stats_lock:
+                self.stats.partitions += 1
             return partition_into_programs(model, target_kind=taxonomy, seed=seed)
         name = resolve_model_name(model)
         key = (name, int(batch_size), taxonomy, repr(seed))
         dfg = self._dfg_cache.get(key)
         if dfg is None:
+            # Two threads may race to build the same DFG; partitioning is
+            # deterministic per (name, batch, taxonomy, seed) so last-put-wins
+            # is harmless, and duplicate work is bounded by the race window.
             graph = build_model(name, batch_size=batch_size)
             dfg = partition_into_programs(graph, target_kind=taxonomy, seed=seed)
             self._dfg_cache.put(key, dfg)
-            self.stats.partitions += 1
+            with self._stats_lock:
+                self.stats.partitions += 1
         else:
-            self.stats.partition_cache_hits += 1
+            with self._stats_lock:
+                self.stats.partition_cache_hits += 1
         return dfg
 
     # ------------------------------------------------------------------
@@ -325,34 +336,77 @@ class FleetService:
         :class:`ModelGraph` or :class:`TIRDataFlowGraph` is predicted at the
         batch size it was built with.
         """
+        specs = self._resolve_targets(devices)
+        with self._stats_lock:
+            if len(specs) > 1:
+                self.stats.fanout_queries += 1
+        results = self.predict_model_batch(
+            [(model, spec, batch_size) for spec in specs], seed=seed, compose=compose
+        )
+        results.sort(key=lambda prediction: prediction.predicted_latency_s)
+        return results
+
+    def predict_model_batch(
+        self,
+        queries: Sequence[Tuple[ModelQuery, Union[str, DeviceSpec], int]],
+        seed: Union[int, str, None] = 0,
+        compose: str = "replay",
+    ) -> List[FleetPrediction]:
+        """Answer many heterogeneous model queries with one batched flush.
+
+        ``queries`` is a sequence of ``(model, device, batch_size)`` triples —
+        different networks, devices and batch sizes may be mixed freely.  All
+        per-kernel queries of *all* triples are enqueued on the shared
+        :class:`PredictionService` first and answered by a single flush (one
+        vectorized predictor call per distinct underlying model), then each
+        triple's latencies are composed independently.  Results come back in
+        input order (unsorted).
+
+        This is the cross-request micro-batching primitive the serving daemon
+        builds on: a shard worker drains its request queue into one
+        ``predict_model_batch`` call, so concurrent clients amortize
+        featurization and predictor overhead exactly like one big caller.
+        """
         if compose not in COMPOSE_MODES:
             raise ServingError(
                 f"unknown composition mode {compose!r}; expected one of {COMPOSE_MODES}"
             )
-        specs = self._resolve_targets(devices)
-        self.stats.model_queries += len(specs)
-        if len(specs) > 1:
-            self.stats.fanout_queries += 1
+        if not queries:
+            return []
+        resolved: List[Tuple[ModelQuery, DeviceSpec, int]] = []
+        for model, device, batch_size in queries:
+            spec = device if isinstance(device, DeviceSpec) else get_device(device)
+            backend = self._service.model_for(spec)  # raises when unservable
+            ensure_model_level(backend, ServingError, device=spec.name)
+            resolved.append((model, spec, int(batch_size)))
+        with self._stats_lock:
+            self.stats.model_queries += len(resolved)
 
-        # Partition once per taxonomy (schedules are sampled per device kind).
-        dfgs: Dict[str, TIRDataFlowGraph] = {}
-        for spec in specs:
-            if spec.taxonomy not in dfgs:
-                dfgs[spec.taxonomy] = self._partition(model, spec.taxonomy, batch_size, seed)
+        # Partition each distinct (model, batch, taxonomy) once; the DFG cache
+        # additionally memoizes zoo names across calls.
+        dfgs: Dict[tuple, TIRDataFlowGraph] = {}
+        for model, spec, batch_size in resolved:
+            key = (id(model) if not isinstance(model, str) else model, batch_size, spec.taxonomy)
+            if key not in dfgs:
+                dfgs[key] = self._partition(model, spec.taxonomy, batch_size, seed)
 
         # Batch: enqueue every (kernel, device) pair, then flush once.
         tickets: List[tuple] = []
-        for spec in specs:
-            unique = dfgs[spec.taxonomy].unique_programs()
+        for model, spec, batch_size in resolved:
+            key = (id(model) if not isinstance(model, str) else model, batch_size, spec.taxonomy)
+            unique = dfgs[key].unique_programs()
             tickets.append(
-                (spec, {key: self._service.submit(program, spec) for key, program in unique.items()})
+                (
+                    dfgs[key],
+                    spec,
+                    {k: self._service.submit(program, spec) for k, program in unique.items()},
+                )
             )
         self._service.flush()
 
-        # Compose: fold per-kernel latencies into each device's estimate.
+        # Compose: fold per-kernel latencies into each query's estimate.
         results: List[FleetPrediction] = []
-        for spec, device_tickets in tickets:
-            dfg = dfgs[spec.taxonomy]
+        for dfg, spec, device_tickets in tickets:
             durations = {key: ticket.result() for key, ticket in device_tickets.items()}
             composed = compose_latencies(dfg, durations, spec, gap_s=self.gap_s, mode=compose)
             # On single-slot devices replay degenerates to the serial sum, so
@@ -376,7 +430,6 @@ class FleetService:
                     compose=compose,
                 )
             )
-        results.sort(key=lambda prediction: prediction.predicted_latency_s)
         return results
 
     def predict_programs(
@@ -390,18 +443,21 @@ class FleetService:
     # ------------------------------------------------------------------
     def describe_stats(self) -> Dict[str, object]:
         """Fleet counters plus the shared kernel service's counters."""
-        return {
-            "model_queries": self.stats.model_queries,
-            "fanout_queries": self.stats.fanout_queries,
-            "partitions": self.stats.partitions,
-            "partition_cache_hits": self.stats.partition_cache_hits,
-            "devices_onboarded": self.stats.devices_onboarded,
-            "kernel_service": self._service.describe_stats(),
-        }
+        with self._stats_lock:
+            counters = {
+                "model_queries": self.stats.model_queries,
+                "fanout_queries": self.stats.fanout_queries,
+                "partitions": self.stats.partitions,
+                "partition_cache_hits": self.stats.partition_cache_hits,
+                "devices_onboarded": self.stats.devices_onboarded,
+            }
+        counters["kernel_service"] = self._service.describe_stats()
+        return counters
 
     def reset_stats(self) -> None:
         """Zero every counter (cache and DFG contents are kept)."""
-        self.stats = FleetStats()
+        with self._stats_lock:
+            self.stats = FleetStats()
         self._service.reset_stats()
 
     def __repr__(self) -> str:

@@ -22,12 +22,17 @@ tuners exercise when they score thousands of candidate schedules per round):
   :class:`repro.serving.registry.ModelRegistry` checkpoints (whatever
   backend wrote them), never retraining in the serving process.
 
-The service is deliberately synchronous and single-threaded; sharded and
-async front-ends can wrap it without changing the batching core.
+The service is synchronous but **thread-safe**: ``submit``, ``flush``,
+``swap_model`` and the stats counters are serialized by one reentrant lock,
+so multiple threads (the shard workers of
+:class:`repro.serving.daemon.ServingDaemon`, or any concurrent callers)
+can share one service without losing queue entries or tearing counters.
+Async front-ends wrap it without changing the batching core.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
@@ -158,6 +163,12 @@ class PredictionService:
         )
         self.stats = ServingStats()
         self._queue: "OrderedDict[CacheKey, _QueueEntry]" = OrderedDict()
+        # One reentrant lock serializes the queue, the model table and the
+        # stats counters.  flush() holds it across the predictor call too:
+        # cheaper-but-racier schemes (detach the queue, predict unlocked)
+        # would let swap_model() retire a model while a detached flush is
+        # still writing its stale predictions into the cache.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Model management
@@ -186,7 +197,8 @@ class PredictionService:
     def model_for(self, device: Union[str, DeviceSpec]) -> CostModel:
         """The model that serves ``device`` (exact entry, else the fallback)."""
         name = device if isinstance(device, str) else device.name
-        model = self._models.get(name) or self._models.get(DEFAULT_DEVICE)
+        with self._lock:
+            model = self._models.get(name) or self._models.get(DEFAULT_DEVICE)
         if model is None:
             raise ServingError(
                 f"no model registered for device {name!r} "
@@ -207,20 +219,21 @@ class PredictionService:
         shard is invalidated (unless the device is the ``"*"`` fallback,
         whose model may have answered queries for any device).
         """
-        if self._queue:
-            self.flush()
-        # Reuse the adapter of a model already serving another device, so the
-        # one-predictor-call-per-distinct-model batch grouping is preserved.
-        adapter = next(
-            (existing for existing in self._models.values() if existing.wraps(model)),
-            None,
-        )
-        self._models[device] = adapter if adapter is not None else _as_serving_model(model)
-        invalidate_device = getattr(self.prediction_cache, "invalidate_device", None)
-        if invalidate_device is not None and device != DEFAULT_DEVICE:
-            invalidate_device(device)
-        else:
-            self.prediction_cache.clear()
+        with self._lock:
+            if self._queue:
+                self.flush()
+            # Reuse the adapter of a model already serving another device, so the
+            # one-predictor-call-per-distinct-model batch grouping is preserved.
+            adapter = next(
+                (existing for existing in self._models.values() if existing.wraps(model)),
+                None,
+            )
+            self._models[device] = adapter if adapter is not None else _as_serving_model(model)
+            invalidate_device = getattr(self.prediction_cache, "invalidate_device", None)
+            if invalidate_device is not None and device != DEFAULT_DEVICE:
+                invalidate_device(device)
+            else:
+                self.prediction_cache.clear()
 
     # ------------------------------------------------------------------
     # Query path
@@ -235,28 +248,29 @@ class PredictionService:
         featurization and one predictor row.
         """
         device_name = device if isinstance(device, str) else device.name
-        model = self.model_for(device_name)
-        key = program_cache_key(program, device_name, model.cache_signature)
-        self.stats.queries += 1
+        with self._lock:
+            model = self.model_for(device_name)
+            key = program_cache_key(program, device_name, model.cache_signature)
+            self.stats.queries += 1
 
-        ticket = PendingPrediction(self, key, device_name)
-        cached = self.prediction_cache.get(key)
-        if cached is not None:
-            ticket._resolve(cached)
+            ticket = PendingPrediction(self, key, device_name)
+            cached = self.prediction_cache.get(key)
+            if cached is not None:
+                ticket._resolve(cached)
+                return ticket
+
+            entry = self._queue.get(key)
+            if entry is not None:
+                self.stats.coalesced += 1
+                entry.tickets.append(ticket)
+                return ticket
+
+            self._queue[key] = _QueueEntry(
+                program=program, device=device_name, model_id=id(model), tickets=[ticket]
+            )
+            if len(self._queue) >= self.max_batch_size:
+                self.flush()
             return ticket
-
-        entry = self._queue.get(key)
-        if entry is not None:
-            self.stats.coalesced += 1
-            entry.tickets.append(ticket)
-            return ticket
-
-        self._queue[key] = _QueueEntry(
-            program=program, device=device_name, model_id=id(model), tickets=[ticket]
-        )
-        if len(self._queue) >= self.max_batch_size:
-            self.flush()
-        return ticket
 
     def _predict_group(self, model: CostModel, queue, keys: List[CacheKey]) -> np.ndarray:
         """One vectorized backend call for every queued query of one model.
@@ -297,28 +311,31 @@ class PredictionService:
         Queries are grouped by owning model; each group is answered by a
         single backend call (mixed-device groups are featurized with one
         device per program).  Returns the number of distinct queue entries
-        resolved.
+        resolved.  A concurrent flush from another thread may resolve this
+        thread's tickets first; both flushes still account every entry
+        exactly once.
         """
-        if not self._queue:
-            return 0
-        queue, self._queue = self._queue, OrderedDict()
-        self.stats.flushes += 1
+        with self._lock:
+            if not self._queue:
+                return 0
+            queue, self._queue = self._queue, OrderedDict()
+            self.stats.flushes += 1
 
-        groups: "OrderedDict[int, List[CacheKey]]" = OrderedDict()
-        for key, entry in queue.items():
-            groups.setdefault(entry.model_id, []).append(key)
+            groups: "OrderedDict[int, List[CacheKey]]" = OrderedDict()
+            for key, entry in queue.items():
+                groups.setdefault(entry.model_id, []).append(key)
 
-        for keys in groups.values():
-            model = self.model_for(queue[keys[0]].device)
-            predictions = self._predict_group(model, queue, keys)
-            self.stats.batches += 1
-            self.stats.predictions_computed += len(keys)
-            for key, value in zip(keys, predictions):
-                value = float(value)
-                self.prediction_cache.put(key, value)
-                for ticket in queue[key].tickets:
-                    ticket._resolve(value)
-        return len(queue)
+            for keys in groups.values():
+                model = self.model_for(queue[keys[0]].device)
+                predictions = self._predict_group(model, queue, keys)
+                self.stats.batches += 1
+                self.stats.predictions_computed += len(keys)
+                for key, value in zip(keys, predictions):
+                    value = float(value)
+                    self.prediction_cache.put(key, value)
+                    for ticket in queue[key].tickets:
+                        ticket._resolve(value)
+            return len(queue)
 
     # ------------------------------------------------------------------
     # Synchronous convenience API
@@ -388,26 +405,29 @@ class PredictionService:
     @property
     def pending(self) -> int:
         """Number of distinct queries waiting for the next flush."""
-        return len(self._queue)
+        with self._lock:
+            return len(self._queue)
 
     def describe_stats(self) -> Dict[str, object]:
         """All serving counters plus both cache summaries, as a plain dict."""
-        return {
-            "queries": self.stats.queries,
-            "coalesced": self.stats.coalesced,
-            "flushes": self.stats.flushes,
-            "batches": self.stats.batches,
-            "programs_featurized": self.stats.programs_featurized,
-            "predictions_computed": self.stats.predictions_computed,
-            "feature_cache": self.feature_cache.stats(),
-            "prediction_cache": self.prediction_cache.stats(),
-        }
+        with self._lock:
+            return {
+                "queries": self.stats.queries,
+                "coalesced": self.stats.coalesced,
+                "flushes": self.stats.flushes,
+                "batches": self.stats.batches,
+                "programs_featurized": self.stats.programs_featurized,
+                "predictions_computed": self.stats.predictions_computed,
+                "feature_cache": self.feature_cache.stats(),
+                "prediction_cache": self.prediction_cache.stats(),
+            }
 
     def reset_stats(self) -> None:
         """Zero every counter (cache contents are kept)."""
-        self.stats = ServingStats()
-        self.feature_cache.reset_stats()
-        self.prediction_cache.reset_stats()
+        with self._lock:
+            self.stats = ServingStats()
+            self.feature_cache.reset_stats()
+            self.prediction_cache.reset_stats()
 
     def __repr__(self) -> str:
         return (

@@ -73,9 +73,27 @@ def t4_features(t4_splits):
     return train, valid, test
 
 
+def trainer_fingerprint(trainer: Trainer) -> int:
+    """A cheap digest of a trainer's weights, to detect in-place mutation.
+
+    Session-scoped trainers are shared by many tests; any test that trains
+    or fine-tunes one *in place* silently changes what every later test
+    sees (and makes outcomes depend on execution order).  Tests that need a
+    trained model they may modify must use ``trainer.clone()``.
+    """
+    digest = 0
+    for name, value in sorted(trainer.predictor.state_dict().items()):
+        digest ^= hash((name, value.tobytes()))
+    return digest
+
+
 @pytest.fixture(scope="session")
 def trained_trainer(t4_features):
-    """A predictor trained for a handful of epochs on the tiny T4 dataset."""
+    """A predictor trained for a handful of epochs on the tiny T4 dataset.
+
+    Shared and read-only: an autouse guard fails the session if any test
+    mutates it in place (fine-tune a ``trainer.clone()`` instead).
+    """
     train, valid, _ = t4_features
     scale = get_scale("tiny")
     trainer = Trainer(
@@ -84,3 +102,19 @@ def trained_trainer(t4_features):
     )
     trainer.fit(train, valid)
     return trainer
+
+
+@pytest.fixture(autouse=True)
+def _session_trainer_is_immutable(request):
+    """Fail any test that mutates the shared ``trained_trainer`` in place."""
+    if "trained_trainer" not in request.fixturenames:
+        yield
+        return
+    trainer = request.getfixturevalue("trained_trainer")
+    before = trainer_fingerprint(trainer)
+    yield
+    assert trainer_fingerprint(trainer) == before, (
+        f"{request.node.nodeid} mutated the session-scoped trained_trainer "
+        "in place; later tests would silently see different weights "
+        "depending on execution order. Fine-tune trainer.clone() instead."
+    )

@@ -8,9 +8,28 @@ from repro.core.api import CDMPP
 from repro.core.finetune import FineTuner
 from repro.core.metrics import mape
 from repro.core.scale import get_scale
+from repro.core.trainer import Trainer
 from repro.dataset.splits import split_dataset
 from repro.features.pipeline import featurize_records
 from repro.replay.e2e import measure_end_to_end
+
+
+@pytest.fixture(scope="module")
+def isolated_trainer(t4_features):
+    """A trainer owned by this module alone, immune to test-order effects.
+
+    Identical recipe to the session-scoped ``trained_trainer`` but never
+    shared, so assertions about its prediction quality cannot silently
+    depend on what earlier tests did to a shared fixture.
+    """
+    train, valid, _ = t4_features
+    scale = get_scale("tiny")
+    trainer = Trainer(
+        predictor_config=scale.predictor_config(),
+        config=scale.training_config(epochs=30, seed=0),
+    )
+    trainer.fit(train, valid)
+    return trainer
 
 
 class TestCLI:
@@ -139,18 +158,20 @@ class TestEndToEndIntegration:
         after = finetuner.latent_cmd(train, target)
         assert after < before * 1.5  # must not blow the domains apart
 
-    def test_prediction_errors_correlate_with_latency_scale(self, trained_trainer, t4_features):
+    def test_prediction_errors_correlate_with_latency_scale(self, isolated_trainer, t4_features):
         """Sanity: predictions track the order of magnitude of the labels.
 
-        The historical 0.45 threshold silently depended on the preceding
-        test fine-tuning the shared session fixture *in place*; now that
-        fine-tuning clones, this test sees the genuine zero-shot fixture
-        (run it alone to check) and asserts its actual correlation.
+        Uses its own freshly trained fixture, NOT the shared session
+        trainer: the historical 0.45 threshold silently depended on a
+        preceding test fine-tuning the shared fixture in place, so the
+        assertion changed meaning with execution order.  A standalone
+        trainer's genuine zero-shot correlation is ~0.33 (saturated —
+        more epochs do not move it), hence the 0.30 floor.
         """
         _, _, test = t4_features
-        predictions = trained_trainer.predict(test)
+        predictions = isolated_trainer.predict(test)
         correlation = np.corrcoef(np.log(predictions), np.log(test.y))[0, 1]
-        assert correlation > 0.25
+        assert correlation > 0.30
 
     def test_cross_device_ranking_preserved_for_large_models(self, trained_trainer):
         """A faster device should get a faster end-to-end prediction."""

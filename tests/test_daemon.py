@@ -1,0 +1,452 @@
+"""Tests for the async serving daemon (repro.serving.daemon/protocol/client).
+
+Covers the full concurrency surface: startup/shutdown, deadline shedding,
+admission-control backpressure, graceful drain (in-process and via SIGTERM
+to the real CLI subprocess), mixed concurrent clients, the stats endpoint,
+and — property-style — bit-identical agreement between answers served over
+the wire and direct in-process ``FleetService`` calls.
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    DaemonClient,
+    DaemonConfig,
+    DaemonRequestError,
+    FleetService,
+    MessageStream,
+    ServingDaemon,
+)
+from repro.serving.protocol import (
+    E_BAD_REQUEST,
+    E_DEADLINE,
+    E_OVERLOADED,
+    encode_message,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_models(trained_trainer):
+    """Two devices served by one shared read-only model."""
+    return {"t4": trained_trainer, "k80": trained_trainer}
+
+
+@pytest.fixture()
+def daemon(fleet_models):
+    """A running daemon on an ephemeral port, stopped at teardown."""
+    daemon = ServingDaemon(fleet_models, DaemonConfig(port=0, max_wait_ms=5.0))
+    daemon.start()
+    yield daemon
+    daemon.stop()
+
+
+def _connect(daemon: ServingDaemon) -> DaemonClient:
+    host, port = daemon.address
+    return DaemonClient(host, port)
+
+
+def _raw_stream(daemon: ServingDaemon) -> MessageStream:
+    return MessageStream(socket.create_connection(daemon.address, timeout=30))
+
+
+class TestLifecycle:
+    def test_startup_shutdown(self, fleet_models):
+        daemon = ServingDaemon(fleet_models, DaemonConfig(port=0))
+        assert not daemon.running
+        daemon.start()
+        try:
+            assert daemon.running
+            host, port = daemon.address
+            assert host == "127.0.0.1" and port > 0
+            assert daemon.devices == ["k80", "t4"]
+        finally:
+            daemon.stop()
+        assert not daemon.running
+        daemon.stop()  # idempotent
+
+    def test_start_twice_rejected(self, daemon):
+        with pytest.raises(ServingError):
+            daemon.start()
+
+    def test_context_manager(self, fleet_models):
+        with ServingDaemon(fleet_models, DaemonConfig(port=0)) as daemon:
+            with _connect(daemon) as client:
+                assert client.health()["status"] == "serving"
+        assert not daemon.running
+
+    def test_health_reports_devices_and_uptime(self, daemon):
+        with _connect(daemon) as client:
+            health = client.health()
+        assert health["devices"] == ["k80", "t4"]
+        assert health["uptime_s"] >= 0.0
+        assert health["pending"] == 0
+        assert health["protocol"] == 1
+
+    def test_single_model_needs_devices(self, trained_trainer):
+        with pytest.raises(ServingError):
+            ServingDaemon(trained_trainer)
+        daemon = ServingDaemon(trained_trainer, devices=["t4"])
+        assert daemon.devices == ["t4"]
+
+
+class TestBitIdenticalToDirectPredict:
+    """Wire answers must equal in-process FleetService answers exactly.
+
+    The daemon runs the same partition -> batch -> compose code as a direct
+    call, and JSON round-trips doubles exactly, so the comparison is ``==``,
+    not approx.
+    """
+
+    @pytest.mark.parametrize("network,batch_size", [("bert_tiny", 1), ("bert_tiny", 4)])
+    def test_query_matches_direct(self, daemon, fleet_models, network, batch_size):
+        direct = FleetService(fleet_models).predict_model(
+            network, device="t4", batch_size=batch_size, seed=0
+        )
+        with _connect(daemon) as client:
+            served = client.query(network, device="t4", batch_size=batch_size, seed=0)
+        assert served["latency_s"] == direct.predicted_latency_s
+        assert served["serial_latency_s"] == direct.serial_latency_s
+        assert served["per_kernel_latency_s"] == dict(direct.per_kernel_latency_s)
+        assert served["num_nodes"] == direct.num_nodes
+        assert served["num_unique_kernels"] == direct.num_unique_kernels
+
+    def test_fanout_matches_direct_fleet(self, daemon, fleet_models):
+        direct = FleetService(fleet_models).predict_model_fleet("bert_tiny", seed=0)
+        with _connect(daemon) as client:
+            served = client.predict_model("bert_tiny", seed=0)
+        assert [r["device"] for r in served] == [p.device for p in direct]
+        assert [r["latency_s"] for r in served] == [p.predicted_latency_s for p in direct]
+
+    def test_compose_serial_matches_direct(self, daemon, fleet_models):
+        direct = FleetService(fleet_models).predict_model(
+            "bert_tiny", device="k80", batch_size=1, seed=0, compose="serial"
+        )
+        with _connect(daemon) as client:
+            served = client.query("bert_tiny", device="k80", compose="serial", seed=0)
+        assert served["latency_s"] == direct.predicted_latency_s
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_shed(self, fleet_models):
+        # A generous batching window, so the deadline (not the window)
+        # decides when the request is looked at — by which point it expired.
+        config = DaemonConfig(port=0, max_wait_ms=500.0, max_batch_size=64)
+        with ServingDaemon(fleet_models, config) as daemon:
+            with _connect(daemon) as client:
+                with pytest.raises(DaemonRequestError) as excinfo:
+                    client.query("bert_tiny", device="t4", deadline_ms=0.0)
+                assert excinfo.value.code == E_DEADLINE
+                stats = client.stats()
+        assert stats["daemon"]["shed_deadline"] == 1
+
+    def test_deadline_closes_batch_window_early(self, fleet_models):
+        # Without a deadline the answer waits out the 800ms window; with a
+        # tight-but-achievable deadline it must arrive well before that.
+        config = DaemonConfig(port=0, max_wait_ms=800.0, max_batch_size=64)
+        with ServingDaemon(fleet_models, config) as daemon:
+            with _connect(daemon) as client:
+                client.query("bert_tiny", device="t4")  # warm caches/partition
+                start = time.monotonic()
+                result = client.query("bert_tiny", device="t4", deadline_ms=150.0)
+                elapsed = time.monotonic() - start
+        assert result["ok"]
+        assert elapsed < 0.75  # served at the deadline, not the window
+
+    def test_patient_request_waits_out_the_window(self, fleet_models):
+        config = DaemonConfig(port=0, max_wait_ms=300.0, max_batch_size=64)
+        with ServingDaemon(fleet_models, config) as daemon:
+            with _connect(daemon) as client:
+                start = time.monotonic()
+                result = client.query("bert_tiny", device="t4")
+                elapsed = time.monotonic() - start
+        assert result["ok"]
+        assert elapsed >= 0.28  # the window is the floor when nothing presses
+
+
+class TestBackpressure:
+    def test_overloaded_rejection_with_retry_hint(self, fleet_models):
+        # queue_limit=1: the first pipelined request occupies the queue for
+        # the whole 400ms window, so the next two are rejected immediately.
+        config = DaemonConfig(
+            port=0, max_wait_ms=400.0, max_batch_size=64, queue_limit=1, retry_after_ms=25.0
+        )
+        with ServingDaemon(fleet_models, config) as daemon:
+            stream = _raw_stream(daemon)
+            try:
+                for request_id in (1, 2, 3):
+                    stream.send(
+                        {"op": "query", "id": request_id, "network": "bert_tiny", "device": "t4"}
+                    )
+                responses = {}
+                for _ in range(3):
+                    response = stream.recv()
+                    responses[response["id"]] = response
+            finally:
+                stream.close()
+        assert responses[1]["ok"]  # admitted, served at window close
+        for rejected_id in (2, 3):
+            rejected = responses[rejected_id]
+            assert not rejected["ok"]
+            assert rejected["error"]["code"] == E_OVERLOADED
+            assert rejected["retry_after_ms"] == 25.0
+
+    def test_no_drops_below_admission_limit(self, fleet_models):
+        config = DaemonConfig(port=0, max_wait_ms=5.0, queue_limit=256)
+        with ServingDaemon(fleet_models, config) as daemon:
+            stream = _raw_stream(daemon)
+            try:
+                total = 40
+                for request_id in range(total):
+                    stream.send(
+                        {
+                            "op": "query",
+                            "id": request_id,
+                            "network": "bert_tiny",
+                            "device": "t4",
+                        }
+                    )
+                answered = set()
+                for _ in range(total):
+                    response = stream.recv()
+                    assert response["ok"], response
+                    answered.add(response["id"])
+            finally:
+                stream.close()
+        assert answered == set(range(total))
+
+
+class TestGracefulDrain:
+    def test_stop_with_drain_answers_queued_work(self, fleet_models):
+        # A long window queues the request; stop(drain=True) must answer it
+        # instead of dropping it, then refuse new work.
+        config = DaemonConfig(port=0, max_wait_ms=5000.0, max_batch_size=64)
+        daemon = ServingDaemon(fleet_models, config).start()
+        stream = _raw_stream(daemon)
+        try:
+            stream.send({"op": "query", "id": 7, "network": "bert_tiny", "device": "t4"})
+            deadline = time.monotonic() + 5.0
+            while daemon.pending == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert daemon.pending == 1
+            daemon.stop(drain=True)
+            response = stream.recv()
+        finally:
+            stream.close()
+        assert response["ok"] and response["id"] == 7
+        assert response["latency_s"] > 0.0
+        assert not daemon.running
+
+    def test_stop_without_drain_fails_queued_work(self, fleet_models):
+        config = DaemonConfig(port=0, max_wait_ms=5000.0, max_batch_size=64)
+        daemon = ServingDaemon(fleet_models, config).start()
+        stream = _raw_stream(daemon)
+        try:
+            stream.send({"op": "query", "id": 9, "network": "bert_tiny", "device": "t4"})
+            deadline = time.monotonic() + 5.0
+            while daemon.pending == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            daemon.stop(drain=False)
+            response = stream.recv()
+        finally:
+            stream.close()
+        assert not response["ok"]
+        assert response["error"]["code"] == "shutting_down"
+
+    def test_serve_forever_returns_after_request_shutdown(self, fleet_models):
+        daemon = ServingDaemon(fleet_models, DaemonConfig(port=0)).start()
+        server = threading.Thread(target=daemon.serve_forever)
+        server.start()
+        daemon.request_shutdown()
+        server.join(timeout=10)
+        assert not server.is_alive()
+        assert not daemon.running
+
+
+class TestConcurrentClients:
+    def test_mixed_query_and_fanout_clients(self, daemon, fleet_models):
+        fleet = FleetService(fleet_models)
+        expected_query = fleet.predict_model("bert_tiny", device="t4", seed=0)
+        expected_fanout = fleet.predict_model_fleet("bert_tiny", seed=0)
+        errors, results = [], []
+        lock = threading.Lock()
+
+        def worker(index: int) -> None:
+            try:
+                with _connect(daemon) as client:
+                    for _ in range(3):
+                        if index % 2 == 0:
+                            served = client.query("bert_tiny", device="t4", seed=0)
+                            assert served["latency_s"] == expected_query.predicted_latency_s
+                        else:
+                            served = client.predict_model("bert_tiny", seed=0)
+                            assert [r["latency_s"] for r in served] == [
+                                p.predicted_latency_s for p in expected_fanout
+                            ]
+                        with lock:
+                            results.append(index)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 24
+
+    def test_pipelined_requests_on_one_connection(self, daemon):
+        stream = _raw_stream(daemon)
+        try:
+            for request_id in range(10):
+                stream.send(
+                    {
+                        "op": "query",
+                        "id": request_id,
+                        "network": "bert_tiny",
+                        "device": ["t4", "k80"][request_id % 2],
+                    }
+                )
+            seen = set()
+            for _ in range(10):
+                response = stream.recv()
+                assert response["ok"]
+                seen.add(response["id"])
+        finally:
+            stream.close()
+        assert seen == set(range(10))
+
+
+class TestStatsEndpoint:
+    def test_counters_reconcile(self, fleet_models):
+        with ServingDaemon(fleet_models, DaemonConfig(port=0, max_wait_ms=5.0)) as daemon:
+            with _connect(daemon) as client:
+                client.health()
+                for _ in range(3):
+                    client.query("bert_tiny", device="t4")
+                client.predict_model("bert_tiny")
+                stats = client.stats()
+        counters = stats["daemon"]
+        assert counters["queries"] == 3
+        assert counters["model_queries"] == 1
+        assert counters["health_checks"] == 1
+        assert counters["stats_requests"] == 1
+        assert counters["requests"] == 6
+        assert counters["connections"] == 1
+        assert counters["batches"] >= 1
+        assert counters["pending"] == 0
+        # Per-shard serving stats come from the underlying FleetService.
+        assert set(stats["shards"]) == {"t4", "k80"}
+        assert stats["shards"]["t4"]["model_queries"] >= 4  # 3 queries + fanout leg
+
+
+class TestProtocolErrors:
+    def test_unknown_op_is_bad_request(self, daemon):
+        stream = _raw_stream(daemon)
+        try:
+            stream.send({"op": "divine", "id": 1})
+            response = stream.recv()
+        finally:
+            stream.close()
+        assert not response["ok"]
+        assert response["error"]["code"] == E_BAD_REQUEST
+        assert response["id"] == 1
+
+    def test_malformed_json_is_bad_request(self, daemon):
+        sock = socket.create_connection(daemon.address, timeout=30)
+        try:
+            sock.sendall(b"this is not json\n")
+            data = sock.recv(65536)
+        finally:
+            sock.close()
+        response = json.loads(data.decode().splitlines()[0])
+        assert not response["ok"]
+        assert response["error"]["code"] == E_BAD_REQUEST
+
+    def test_unknown_network_and_device(self, daemon):
+        with _connect(daemon) as client:
+            with pytest.raises(DaemonRequestError) as excinfo:
+                client.query("skynet", device="t4")
+            assert excinfo.value.code == E_BAD_REQUEST
+            with pytest.raises(DaemonRequestError) as excinfo:
+                client.query("bert_tiny", device="a100")  # real device, not served
+            assert excinfo.value.code == E_BAD_REQUEST
+
+    def test_non_object_message_rejected(self, daemon):
+        sock = socket.create_connection(daemon.address, timeout=30)
+        try:
+            sock.sendall(encode_message({"op": "health"})[:-1] + b"\n")  # sanity: ok
+            sock.sendall(b"[1, 2, 3]\n")
+            stream = MessageStream(sock)
+            first = stream.recv()
+            second = stream.recv()
+        finally:
+            sock.close()
+        assert first["ok"]
+        assert second["error"]["code"] == E_BAD_REQUEST
+
+
+class TestDaemonCLI:
+    def test_sigterm_drains_and_exits_cleanly(self, tmp_path):
+        """Full lifecycle through the real CLI: train, serve, query, SIGTERM."""
+        from repro.cli import main
+
+        registry = str(tmp_path / "registry")
+        assert main(["train", "t4", "--scale", "tiny", "--registry", registry]) == 0
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "daemon",
+                "--devices",
+                "t4",
+                "--port",
+                "0",
+                "--registry",
+                registry,
+                "--scale",
+                "tiny",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            port = None
+            for _ in range(50):
+                line = proc.stdout.readline()
+                match = re.search(r"listening on [\d.]+:(\d+)", line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            assert port, "daemon never printed its port"
+
+            with DaemonClient("127.0.0.1", port) as client:
+                result = client.query("bert_tiny", device="t4")
+                assert result["latency_s"] > 0.0
+
+            proc.send_signal(signal.SIGTERM)
+            output, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, output
+        assert "drained and stopped" in output

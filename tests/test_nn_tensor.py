@@ -129,3 +129,47 @@ class TestTensorBehaviour:
         y = (3.0 - x) + (1.0 / x) + 2.0 * x
         y.sum().backward()
         assert x.grad is not None
+
+
+class TestGradModeThreadLocality:
+    def test_no_grad_is_thread_local(self):
+        """A no_grad block in one thread must not disable grads in another.
+
+        Regression: grad mode used to be a process global with save/restore
+        semantics, so the serving daemon's concurrent inference threads
+        could interleave their no_grad enter/exit and leave gradients
+        disabled for a training thread forever ('called backward() on a
+        tensor that does not require grad').
+        """
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def inference() -> None:
+            with no_grad():
+                entered.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=inference)
+        thread.start()
+        try:
+            assert entered.wait(timeout=10)
+            # The other thread sits inside no_grad; this thread still builds
+            # a graph and backpropagates.
+            x = Tensor([2.0], requires_grad=True)
+            (x * 3).sum().backward()
+            assert x.grad is not None
+        finally:
+            release.set()
+            thread.join()
+        # And the inference thread's exit must not clobber this thread.
+        y = Tensor([1.0], requires_grad=True)
+        assert y.requires_grad
+
+    def test_no_grad_nesting_restores_mode(self):
+        with no_grad():
+            with no_grad():
+                assert not Tensor([1.0], requires_grad=True).requires_grad
+            assert not Tensor([1.0], requires_grad=True).requires_grad
+        assert Tensor([1.0], requires_grad=True).requires_grad
