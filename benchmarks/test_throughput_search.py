@@ -1,0 +1,178 @@
+"""Search throughput: batched scoring via the serving tier vs per-candidate calls.
+
+A cost model inside an auto-tuner is a scoring amplifier: every search round
+asks for scores of a whole candidate population at once.  Scoring candidates
+one predictor call at a time (the raw ``ScoreFn``-closure style) pays
+per-call featurization and dispatch overhead ``population`` times per round;
+routing the population through the :class:`PredictionService` pays it once —
+and a tuner's workload has heavy repeats (budget sweeps, warm restarts and
+re-tunes revisit the same candidate pools), which the service answers from
+its prediction cache without touching the predictor at all.
+
+This benchmark replays a budget-sweep tuning workload (the same search run
+at two measurement budgets, so the candidate pools are identical — exactly
+what a tuner exploring the measure/score trade-off does) and asserts the
+headline contract: scoring through the serving tier is >= 3x the throughput
+of per-candidate scoring.  It also checks the SearchService end to end:
+search trajectories match the per-candidate reference, a cached re-tune is
+bit-identical with zero new predicts, and re-tuning is orders of magnitude
+faster than searching.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import print_table, run_once
+from repro.core.api import CDMPP
+from repro.ops import dense
+from repro.search.ansor import evolutionary_search
+from repro.serving import PredictionService, SearchCache, SearchService
+
+SEARCH_ROUNDS = 3
+POPULATION = 64
+#: measurements_per_round sweep; same seed + rounds => identical candidate pools.
+SWEEP_BUDGETS = (1, 3)
+
+
+class TimedScorer:
+    """Wrap a ScoreFn and meter the time spent purely on scoring."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.seconds = 0.0
+        self.calls = 0
+        self.candidates = 0
+
+    def __call__(self, programs):
+        start = time.perf_counter()
+        scores = self.fn(programs)
+        self.seconds += time.perf_counter() - start
+        self.calls += 1
+        self.candidates += len(programs)
+        return scores
+
+
+@pytest.fixture(scope="module")
+def search_setup(t4_cdmpp):
+    """The pre-trained T4 predictor plus the task under tuning."""
+    return t4_cdmpp["trainer"], dense(4, 16, 16, model="tune-bench")
+
+
+def _sweep(task, scorer):
+    """One budget sweep: the same search at every measurement budget."""
+    return [
+        evolutionary_search(
+            task,
+            "t4",
+            scorer,
+            num_rounds=SEARCH_ROUNDS,
+            population=POPULATION,
+            measurements_per_round=budget,
+            seed=0,
+        )
+        for budget in SWEEP_BUDGETS
+    ]
+
+
+def test_batched_scoring_throughput_vs_per_candidate(benchmark, search_setup):
+    trainer, task = search_setup
+
+    def run_workload():
+        # Per-candidate reference: one predictor call per candidate, the way
+        # a bare ScoreFn closure scores (nothing batches, nothing caches).
+        facade = CDMPP.from_trainer(trainer)
+        naive = TimedScorer(
+            lambda programs: np.array(
+                [facade.predict_program(program, "t4") for program in programs]
+            )
+        )
+        naive_results = _sweep(task, naive)
+
+        # Serving tier: each round's population is ONE vectorized predict,
+        # and the second sweep's identical pools hit the prediction cache.
+        service = PredictionService(trainer, max_batch_size=256)
+        batched = TimedScorer(lambda programs: service.predict(programs, "t4"))
+        batched_results = _sweep(task, batched)
+        return naive, naive_results, batched, batched_results, service
+
+    naive, naive_results, batched, batched_results, service = run_once(benchmark, run_workload)
+
+    speedup = naive.seconds / batched.seconds
+    rows = [
+        {"mode": "per-candidate ScoreFn", "scoring_s": naive.seconds,
+         "predict_calls": naive.calls * POPULATION,
+         "candidates_per_s": naive.candidates / naive.seconds, "speedup": 1.0},
+        {"mode": "serving tier (batched+cached)", "scoring_s": batched.seconds,
+         "predict_calls": service.stats.batches,
+         "candidates_per_s": batched.candidates / batched.seconds, "speedup": speedup},
+    ]
+    print_table(
+        f"Search scoring throughput ({len(SWEEP_BUDGETS)} budget sweeps x "
+        f"{SEARCH_ROUNDS} rounds x {POPULATION} candidates, T4)",
+        rows,
+        ["mode", "scoring_s", "predict_calls", "candidates_per_s", "speedup"],
+    )
+
+    # Both paths scored the identical candidate stream.
+    assert naive.candidates == batched.candidates == (
+        len(SWEEP_BUDGETS) * SEARCH_ROUNDS * POPULATION
+    )
+    # One vectorized predict per round on the batched path; the second
+    # sweep's rounds were answered entirely from the prediction cache.
+    assert batched.calls == len(SWEEP_BUDGETS) * SEARCH_ROUNDS
+    assert service.stats.batches == SEARCH_ROUNDS
+    # Same search outcomes (same seed => same candidate pools => same bests).
+    for naive_result, batched_result in zip(naive_results, batched_results):
+        np.testing.assert_allclose(
+            batched_result.best_latency_per_round,
+            naive_result.best_latency_per_round,
+            rtol=1e-2,
+        )
+        assert batched_result.num_measurements == naive_result.num_measurements
+
+    # The headline contract: >= 3x scoring throughput through the serving tier.
+    assert speedup >= 3.0, (
+        f"batched scoring speedup {speedup:.1f}x below the 3x contract"
+    )
+
+
+def test_cached_retune_is_bit_identical_and_instant(benchmark, search_setup):
+    trainer, task = search_setup
+    service = PredictionService(trainer, max_batch_size=256)
+    search = SearchService(service, cache=SearchCache())
+    budget = dict(
+        num_rounds=SEARCH_ROUNDS,
+        population=POPULATION,
+        measurements_per_round=SWEEP_BUDGETS[-1],
+        seed=0,
+    )
+
+    def tune_twice():
+        start = time.perf_counter()
+        first = search.tune_task(task, "t4", **budget)
+        fresh_s = time.perf_counter() - start
+        queries_before = service.stats.queries
+        start = time.perf_counter()
+        second = search.tune_task(task, "t4", **budget)
+        cached_s = time.perf_counter() - start
+        return first, fresh_s, second, cached_s, queries_before
+
+    first, fresh_s, second, cached_s, queries_before = run_once(benchmark, tune_twice)
+
+    print_table(
+        "Re-tune latency (fresh search vs cached result)",
+        [
+            {"mode": "fresh search", "seconds": fresh_s, "speedup": 1.0},
+            {"mode": "cached re-tune", "seconds": cached_s, "speedup": fresh_s / cached_s},
+        ],
+        ["mode", "seconds", "speedup"],
+    )
+
+    assert second == first  # bit-identical SearchResult
+    assert service.stats.queries == queries_before  # zero new predicts
+    assert search.stats.cache_hits == 1
+    assert fresh_s / cached_s >= 50.0, (
+        f"cached re-tune only {fresh_s / cached_s:.0f}x faster than searching"
+    )

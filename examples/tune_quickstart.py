@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Quickstart for the search tier: tune a network through the SearchService.
+
+Trains one tiny cost model on the first run and registers it; every later
+run loads the checkpoint.  A SearchService then tunes bert_tiny on the T4:
+the fresh search scores every round's candidate population as one batched
+predict through the fleet tier, the immediate re-tune is a pure cache hit
+(bit-identical results, zero new predictor calls), and re-registering the
+checkpoint — a retrain — invalidates the cached tunings so the next tune
+searches again.
+
+Run with:  PYTHONPATH=src python examples/tune_quickstart.py [--registry DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.scale import get_scale
+from repro.core.trainer import Trainer
+from repro.dataset.splits import split_dataset
+from repro.dataset.tenset import DatasetConfig, generate_dataset
+from repro.features.pipeline import featurize_records
+from repro.serving import FleetService, ModelRegistry, SearchService
+
+DEVICE = "t4"
+NETWORK = "bert_tiny"
+BUDGET = dict(num_rounds=3, population=8, measurements_per_round=2)
+
+
+def train_or_load(registry: ModelRegistry, device: str) -> str:
+    """Ensure a '<device>-tiny' checkpoint exists; returns its registry name."""
+    name = f"{device}-tiny"
+    if registry.exists(name):
+        print(f"[1/4] loading {name!r} from {registry.root}")
+        return name
+    print(f"[1/4] training a tiny-scale cost model for {device} (first run only) ...")
+    scale = get_scale("tiny")
+    dataset = generate_dataset(DatasetConfig(devices=(device,), seed=0, **scale.dataset_kwargs()))
+    splits = split_dataset(dataset.records(device), seed=0)
+    trainer = Trainer(predictor_config=scale.predictor_config(), config=scale.training_config())
+    max_leaves = scale.predictor_config().max_leaves
+    trainer.fit(
+        featurize_records(splits.train, max_leaves=max_leaves),
+        featurize_records(splits.valid, max_leaves=max_leaves),
+    )
+    path = registry.save(name, trainer, device=device, scale="tiny")
+    print(f"      registered at {path}")
+    return name
+
+
+def describe(label: str, tuning, search: SearchService, fleet: FleetService) -> None:
+    kernel = fleet.describe_stats()["kernel_service"]
+    print(
+        f"      {label}: {len(tuning.cached_tasks)} cached / "
+        f"{len(tuning.fresh_tasks)} fresh task(s), tuned latency "
+        f"{tuning.tuned_latency_s * 1e3:.3f} ms "
+        f"({search.stats.programs_scored} candidates scored in "
+        f"{kernel['batches']} batched predictor calls so far)"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--registry", default=None, help="registry dir (default: ~/.cache/cdmpp/models)")
+    args = parser.parse_args()
+
+    registry = ModelRegistry(args.registry)
+    name = train_or_load(registry, DEVICE)
+
+    fleet = FleetService.from_registry(registry, name, devices=[DEVICE])
+    search = SearchService(fleet, registry=registry, model_names={DEVICE: name})
+
+    print(f"[2/4] tuning {NETWORK} on {DEVICE} (fresh search) ...")
+    (first,) = search.tune_model(NETWORK, devices=[DEVICE], seed=0, **BUDGET)
+    describe("fresh", first, search, fleet)
+
+    print("[3/4] re-tuning the unchanged model (cache hit) ...")
+    (second,) = search.tune_model(NETWORK, devices=[DEVICE], seed=0, **BUDGET)
+    describe("cached", second, search, fleet)
+    assert second.fully_cached and second.results == first.results
+    print("      re-tune is bit-identical with zero new searches")
+
+    print("[4/4] re-registering the checkpoint invalidates the cached tunings ...")
+    registry.save(name, registry.load(name), device=DEVICE, scale="tiny")
+    (third,) = search.tune_model(NETWORK, devices=[DEVICE], seed=0, **BUDGET)
+    describe("after retrain", third, search, fleet)
+    assert not third.cached_tasks, "retrain must force a fresh search"
+    print(f"      search stats: {search.stats}")
+
+
+if __name__ == "__main__":
+    main()

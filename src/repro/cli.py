@@ -13,6 +13,11 @@ Subcommands follow the train-once / query-many workflow of the paper:
   one model on several devices at once, from registered checkpoints only
   (never retrains), ranked fastest-first through one
   :class:`repro.serving.FleetService`.
+* ``cdmpp tune <network> --devices a,b`` — cost-model-guided schedule
+  search for one network per device, each round's candidate population
+  scored in one batched predictor call of the registered checkpoint; a
+  re-tune of an unchanged model is a pure cache hit (the tunings persist in
+  the registry next to the checkpoints).
 * ``cdmpp compare <device>`` — train several backends side by side on one
   dataset and print a Table-1-style capability + accuracy + training
   throughput report.
@@ -69,6 +74,7 @@ from repro.serving import (
     FleetService,
     ModelRegistry,
     PredictionService,
+    SearchService,
     ServingDaemon,
 )
 
@@ -76,6 +82,7 @@ SUBCOMMANDS = (
     "train",
     "query",
     "predict-model",
+    "tune",
     "compare",
     "onboard",
     "serve",
@@ -239,6 +246,54 @@ def build_cli_parser() -> argparse.ArgumentParser:
     _add_backend(predict_model)
     _add_checkpoint_options(predict_model)
     _add_compose(predict_model)
+
+    tune = _sub(
+        sub,
+        "tune",
+        "cost-model-guided schedule search for one network on several devices",
+        "example:\n  cdmpp train t4 --scale tiny\n"
+        "  cdmpp tune bert_tiny --devices t4 --scale tiny\n\n"
+        "Partitions the network into its unique tasks and runs evolutionary\n"
+        "schedule search on each, scoring every round's candidate population\n"
+        "through ONE batched predictor call of the registered checkpoint\n"
+        "(never retrains; train the devices first). Finished tunings are\n"
+        "cached in the registry next to the checkpoints, keyed on the cost\n"
+        "model's signature and the search budget: re-tuning an unchanged\n"
+        "model is a pure cache hit ('cached') returning bit-identical\n"
+        "results with zero new predicts, while retraining or onboarding a\n"
+        "device invalidates its entries and forces a fresh search ('fresh').",
+    )
+    tune.add_argument("network", help=f"network name, one of: {', '.join(list_models())}")
+    tune.add_argument(
+        "--devices",
+        required=True,
+        help="comma-separated device names to tune for, e.g. 't4,k80'",
+    )
+    tune.add_argument("--batch-size", type=int, default=1, help="batch size of the tuned network")
+    tune.add_argument(
+        "--rounds", type=int, default=None, help="evolutionary search rounds per task (default: 6)"
+    )
+    tune.add_argument(
+        "--population",
+        type=int,
+        default=None,
+        help="candidate schedules scored per round (default: 12)",
+    )
+    tune.add_argument(
+        "--measurements-per-round",
+        type=int,
+        default=None,
+        help="top candidates measured per round (default: 3)",
+    )
+    _add_scale_seed(tune)
+    _add_backend(tune)
+    _add_checkpoint_options(tune)
+    tune.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore cached tunings and search from scratch "
+        "(fresh results still replace the cached entries)",
+    )
 
     compare = _sub(
         sub,
@@ -990,6 +1045,65 @@ def _cmd_predict_model(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    try:
+        specs = _parse_device_list(args.devices)
+        network = resolve_model_name(args.network)
+        fleet = _build_fleet(args, specs, train_missing=False)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if getattr(args, "checkpoint", None):
+        # One explicit checkpoint serves every device; there is no registry
+        # name to tie cache entries to, so tunings stay in-memory.
+        search = SearchService(fleet)
+    else:
+        backend = resolve_backend_name(args.backend or "cdmpp")
+        registry = ModelRegistry(args.registry)
+        names = {spec.name: _registry_name(spec.name, args.scale, backend) for spec in specs}
+        search = SearchService(fleet, registry=registry, model_names=names)
+
+    budget = {}
+    if args.rounds is not None:
+        budget["num_rounds"] = args.rounds
+    if args.population is not None:
+        budget["population"] = args.population
+    if args.measurements_per_round is not None:
+        budget["measurements_per_round"] = args.measurements_per_round
+    tunings = search.tune_model(
+        network,
+        devices=specs,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        use_cache=not args.no_cache,
+        **budget,
+    )
+
+    print(f"[cdmpp] {network} (batch={args.batch_size}): tuned on {len(tunings)} device(s)")
+    for tuning in tunings:
+        total = len(tuning.results)
+        print(
+            f"[cdmpp]   {tuning.device:12s} {total} task(s): "
+            f"{len(tuning.cached_tasks)} cached, {len(tuning.fresh_tasks)} fresh  "
+            f"tuned latency {tuning.tuned_latency_s * 1e3:9.3f} ms"
+        )
+        worst = max(tuning.results.values(), key=lambda result: result.best_latency_s, default=None)
+        if worst is not None:
+            print(
+                f"[cdmpp]     slowest task {worst.task_key}: "
+                f"{worst.best_latency_s * 1e6:.2f} us after {worst.num_measurements} measurement(s)"
+            )
+    stats = search.describe_stats()
+    kernel = fleet.describe_stats()["kernel_service"]
+    print(
+        f"[cdmpp] {stats['tasks_tuned']} task tunings: {stats['cache_hits']} cached, "
+        f"{stats['searches_run']} searched ({stats['programs_scored']} candidates scored "
+        f"in {kernel['batches']} batched predictor calls)"
+    )
+    return 0
+
+
 def _cmd_fleet(args, stream: Optional[TextIO] = None) -> int:
     try:
         specs = _parse_device_list(args.devices)
@@ -1126,7 +1240,17 @@ def _cmd_daemon(args) -> int:
             seed=args.seed,
             compose=args.compose,
         )
-        daemon = ServingDaemon(models, config)
+        # Registry-backed daemons persist tune-op search results in the
+        # registry's search cache (and tie them to checkpoint names for
+        # eviction); an explicit --checkpoint has no registry identity.
+        registry = model_names = None
+        if not getattr(args, "checkpoint", None):
+            backend = resolve_backend_name(getattr(args, "backend", None) or "cdmpp")
+            registry = ModelRegistry(args.registry)
+            model_names = {
+                spec.name: _registry_name(spec.name, args.scale, backend) for spec in specs
+            }
+        daemon = ServingDaemon(models, config, registry=registry, model_names=model_names)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -1353,6 +1477,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "train": _cmd_train,
             "query": _cmd_query,
             "predict-model": _cmd_predict_model,
+            "tune": _cmd_tune,
             "compare": _cmd_compare,
             "onboard": _cmd_onboard,
             "serve": _cmd_serve,

@@ -51,11 +51,26 @@ def partition_into_programs(
 
 def extract_tasks(model: ModelLike, batch_size: int = 1) -> List[Task]:
     """All tasks of a model (one per node, duplicates included)."""
+    from repro.graph.dfg import TIRDataFlowGraph
+
+    if isinstance(model, TIRDataFlowGraph):
+        return [node.program.task for node in model.nodes.values()]
     return _as_graph(model, batch_size).tasks()
 
 
 def extract_unique_tasks(model: ModelLike, batch_size: int = 1) -> Dict[str, Task]:
-    """Deduplicated tasks of a model keyed by workload key."""
+    """Deduplicated tasks of a model keyed by workload key.
+
+    Accepts a zoo name, a :class:`ModelGraph`, or an already-partitioned
+    :class:`~repro.graph.dfg.TIRDataFlowGraph` (whose nodes carry their tasks
+    — ``batch_size`` is ignored since the DFG was built at a fixed batch).
+    The DFG path lets the schedule-search tier tune exactly the kernels a
+    fleet serves without re-partitioning.
+    """
+    from repro.graph.dfg import TIRDataFlowGraph
+
+    if isinstance(model, TIRDataFlowGraph):
+        return {key: program.task for key, program in model.unique_programs().items()}
     return _as_graph(model, batch_size).unique_tasks()
 
 

@@ -28,6 +28,8 @@ from repro.serving.daemon import DaemonConfig, DaemonStats, ServingDaemon
 from repro.serving.fleet import FleetPrediction, FleetService, FleetStats
 from repro.serving.protocol import PROTOCOL_VERSION, MessageStream, ProtocolError
 from repro.serving.registry import ModelRegistry, default_registry_root
+from repro.serving.search import ModelTuning, SearchService, SearchServiceStats
+from repro.serving.search_cache import SearchCache, SearchCacheStats
 from repro.serving.service import PendingPrediction, PredictionService, ServingStats
 
 __all__ = [
@@ -42,10 +44,15 @@ __all__ = [
     "LRUCache",
     "MessageStream",
     "ModelRegistry",
+    "ModelTuning",
     "PROTOCOL_VERSION",
     "PendingPrediction",
     "PredictionService",
     "ProtocolError",
+    "SearchCache",
+    "SearchCacheStats",
+    "SearchService",
+    "SearchServiceStats",
     "ServingDaemon",
     "ServingStats",
     "default_registry_root",

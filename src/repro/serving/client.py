@@ -2,7 +2,7 @@
 
 :class:`DaemonClient` speaks the line-delimited JSON protocol of
 :mod:`repro.serving.protocol` over one TCP connection and exposes the
-daemon's four operations as methods.  Failures come back as
+daemon's operations as methods.  Failures come back as
 :class:`DaemonRequestError` carrying the wire error code, so callers can
 distinguish backpressure (``overloaded`` — retry after
 ``error.retry_after_ms``) from a shed deadline (``deadline_exceeded``) or a
@@ -162,6 +162,66 @@ class DaemonClient:
             request["seed"] = seed
         if compose is not None:
             request["compose"] = compose
+        return self._call(request)
+
+    def tune(
+        self,
+        network: str,
+        devices: Optional[Sequence[str]] = None,
+        batch_size: int = 1,
+        rounds: Optional[int] = None,
+        population: Optional[int] = None,
+        measurements_per_round: Optional[int] = None,
+        seed: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Schedule-search ``network`` on ``devices`` (default: all served).
+
+        Returns one tuning dict per device: ``device``, ``tuned_latency_s``,
+        per-task ``results`` and the ``cached_tasks``/``fresh_tasks`` split
+        (a repeat tune of an unchanged model is fully cached and issues no
+        new searches).  Use :meth:`tune_raw` to also see per-device errors.
+        """
+        return self.tune_raw(
+            network,
+            devices=devices,
+            batch_size=batch_size,
+            rounds=rounds,
+            population=population,
+            measurements_per_round=measurements_per_round,
+            seed=seed,
+            deadline_ms=deadline_ms,
+        )["results"]
+
+    def tune_raw(
+        self,
+        network: str,
+        devices: Optional[Sequence[str]] = None,
+        batch_size: int = 1,
+        rounds: Optional[int] = None,
+        population: Optional[int] = None,
+        measurements_per_round: Optional[int] = None,
+        seed: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Like :meth:`tune` but returns the full response payload."""
+        request: Dict[str, Any] = {
+            "op": "tune",
+            "network": network,
+            "batch_size": batch_size,
+        }
+        if devices is not None:
+            request["devices"] = list(devices)
+        if rounds is not None:
+            request["rounds"] = rounds
+        if population is not None:
+            request["population"] = population
+        if measurements_per_round is not None:
+            request["measurements_per_round"] = measurements_per_round
+        if seed is not None:
+            request["seed"] = seed
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
         return self._call(request)
 
     def stats(self) -> Dict[str, Any]:

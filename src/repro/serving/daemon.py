@@ -118,6 +118,7 @@ class DaemonStats:
     requests: int = 0
     queries: int = 0
     model_queries: int = 0
+    tune_queries: int = 0
     health_checks: int = 0
     stats_requests: int = 0
     responses: int = 0
@@ -130,13 +131,18 @@ class DaemonStats:
 
 
 class _Fanout:
-    """Collects the per-device answers of one ``predict-model`` request."""
+    """Collects the per-device answers of one fanned-out request.
+
+    Used by ``predict-model`` (results sorted fastest-first) and ``tune``
+    (results in completion order, each a :class:`ModelTuning` dict).
+    """
 
     def __init__(
         self,
         daemon: "ServingDaemon",
         stream: MessageStream,
         request_id: Any,
+        op: str,
         network: str,
         batch_size: int,
         expected: int,
@@ -144,16 +150,17 @@ class _Fanout:
         self._daemon = daemon
         self._stream = stream
         self._request_id = request_id
+        self._op = op
         self._network = network
         self._batch_size = batch_size
         self._remaining = expected
         self._lock = threading.Lock()
-        self._results: List[FleetPrediction] = []
+        self._results: List[Any] = []
         self._errors: Dict[str, Dict[str, str]] = {}
 
-    def add(self, prediction: FleetPrediction) -> None:
+    def add(self, result: Any) -> None:
         with self._lock:
-            self._results.append(prediction)
+            self._results.append(result)
             self._remaining -= 1
             done = self._remaining == 0
         if done:
@@ -167,9 +174,14 @@ class _Fanout:
         if done:
             self._respond()
 
-    def _respond(self) -> None:
+    def _result_fields(self) -> List[Dict[str, Any]]:
+        if self._op == "tune":
+            return [tuning.to_dict() for tuning in self._results]
         results = sorted(self._results, key=lambda p: p.predicted_latency_s)
-        if not results:
+        return [_prediction_fields(p) for p in results]
+
+    def _respond(self) -> None:
+        if not self._results:
             first = next(iter(self._errors.values()))
             payload = error_payload(
                 first["code"], first["message"], self._request_id, devices=self._errors
@@ -177,10 +189,10 @@ class _Fanout:
         else:
             payload = ok_payload(
                 self._request_id,
-                op="predict-model",
+                op=self._op,
                 network=self._network,
                 batch_size=self._batch_size,
-                results=[_prediction_fields(p) for p in results],
+                results=self._result_fields(),
                 errors=self._errors,
             )
         self._daemon._send(self._stream, payload)
@@ -214,6 +226,7 @@ class _WorkItem:
         "deadline",
         "enqueued_at",
         "collector",
+        "params",
     )
 
     def __init__(
@@ -228,6 +241,7 @@ class _WorkItem:
         compose: str,
         deadline: Optional[float],
         collector: Optional[_Fanout] = None,
+        params: Optional[Dict[str, Any]] = None,
     ):
         self.op = op
         self.request_id = request_id
@@ -240,24 +254,51 @@ class _WorkItem:
         self.deadline = deadline  # absolute time.monotonic() instant, or None
         self.enqueued_at = time.monotonic()
         self.collector = collector
+        self.params = params  # op-specific extras (tune: search budget)
 
 
 class _ShardWorker(threading.Thread):
     """One device's queue + batching loop, over its own FleetService."""
 
-    def __init__(self, daemon: "ServingDaemon", spec: DeviceSpec, model: ModelLike):
+    def __init__(
+        self,
+        daemon: "ServingDaemon",
+        spec: DeviceSpec,
+        model: ModelLike,
+        model_name: Optional[str] = None,
+    ):
         super().__init__(name=f"cdmpp-shard-{spec.name}", daemon=True)
         self.daemon_ref = daemon
         self.spec = spec
+        self.model_name = model_name
         self.fleet = FleetService(
             {spec.name: model},
             max_batch_size=max(512, daemon.config.max_batch_size * 64),
             gap_s=daemon.gap_s,
         )
+        self._search: Optional["SearchService"] = None
         self._items: deque = deque()
         self._cond = threading.Condition()
         self._stop_requested = False
         self._drain = True
+
+    @property
+    def search(self) -> "SearchService":
+        """This shard's schedule-search tier (built on first ``tune``).
+
+        With a registry attached to the daemon the search cache is the
+        registry's persistent one, so tunings survive daemon restarts and a
+        checkpoint re-save/delete evicts them; only the owning shard thread
+        touches the service, so lazy construction is race-free.
+        """
+        if self._search is None:
+            from repro.serving.search import SearchService
+
+            names = {self.spec.name: self.model_name} if self.model_name else None
+            self._search = SearchService(
+                self.fleet, registry=self.daemon_ref.registry, model_names=names
+            )
+        return self._search
 
     # -- queue side (called from connection reader threads) -------------
     @property
@@ -358,6 +399,25 @@ class _ShardWorker(threading.Thread):
                 self._process(batch)
 
     def _process(self, batch: List[_WorkItem]) -> None:
+        # Tune requests run one at a time (each is a whole search, already
+        # internally batched — one vectorized predict per search round);
+        # query/predict-model items batch as before.
+        tune_items = [item for item in batch if item.op == "tune"]
+        batch = [item for item in batch if item.op != "tune"]
+        for item in tune_items:
+            try:
+                tuning = self.search.tune_model(
+                    item.network,
+                    devices=[self.spec],
+                    batch_size=item.batch_size,
+                    seed=item.seed,
+                    **(item.params or {}),
+                )[0]
+            except ReproError as error:
+                self.daemon_ref._fail_item(item, E_INTERNAL, str(error), counted="internal")
+                continue
+            self.daemon_ref._complete_tune(item, tuning)
+
         # One predict_model_batch per (seed, compose) group: all kernel
         # queries of the group are answered by a single batched flush.
         groups: Dict[tuple, List[_WorkItem]] = {}
@@ -408,9 +468,15 @@ class ServingDaemon:
         config: Optional[DaemonConfig] = None,
         devices: Optional[Sequence[str]] = None,
         gap_s: float = 2e-6,
+        registry=None,
+        model_names: Optional[Mapping[str, str]] = None,
     ):
         self.config = config or DaemonConfig()
         self.gap_s = float(gap_s)
+        # Attach a ModelRegistry to persist tune-op search results in its
+        # search cache (from_registry wires this up automatically).
+        self.registry = registry
+        model_names = dict(model_names or {})
         if not isinstance(models, Mapping):
             if not devices:
                 raise ServingError(
@@ -424,7 +490,9 @@ class ServingDaemon:
         self._shards: Dict[str, _ShardWorker] = {}
         for name, model in models.items():
             spec = get_device(name)
-            self._shards[spec.name] = _ShardWorker(self, spec, model)
+            self._shards[spec.name] = _ShardWorker(
+                self, spec, model, model_name=model_names.get(spec.name)
+            )
         self.stats = DaemonStats()
         self._stats_lock = threading.Lock()
         self._admission_lock = threading.Lock()
@@ -461,11 +529,24 @@ class ServingDaemon:
         if isinstance(names, Mapping):
             if devices is not None:
                 raise ServingError("pass either a {device: name} mapping or devices=, not both")
-            return cls({device: load(name) for device, name in names.items()}, config, **kwargs)
+            model_names = {get_device(d).name: name for d, name in names.items()}
+            return cls(
+                {device: load(name) for device, name in names.items()},
+                config,
+                registry=registry,
+                model_names=model_names,
+                **kwargs,
+            )
         if not devices:
             raise ServingError("one checkpoint name needs devices= to know what to serve")
         model = load(names)
-        return cls({get_device(d).name: model for d in devices}, config, **kwargs)
+        return cls(
+            {get_device(d).name: model for d in devices},
+            config,
+            registry=registry,
+            model_names={get_device(d).name: names for d in devices},
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -639,6 +720,7 @@ class ServingDaemon:
             return
         try:
             network, batch_size, seed, compose, deadline = self._parse_query_common(message)
+            params = self._parse_tune_params(message) if op == "tune" else None
             if op == "query":
                 specs = [self._served_device(message.get("device"))]
             else:
@@ -667,8 +749,8 @@ class ServingDaemon:
             else:
                 admitted = True
                 collector = (
-                    _Fanout(self, stream, request_id, network, batch_size, len(specs))
-                    if op == "predict-model"
+                    _Fanout(self, stream, request_id, op, network, batch_size, len(specs))
+                    if op in ("predict-model", "tune")
                     else None
                 )
                 for spec in specs:
@@ -683,6 +765,7 @@ class ServingDaemon:
                         compose,
                         deadline,
                         collector,
+                        params=params,
                     )
                     self._shards[spec.name].enqueue(item)
         if not admitted:
@@ -701,6 +784,8 @@ class ServingDaemon:
         with self._stats_lock:
             if op == "query":
                 self.stats.queries += 1
+            elif op == "tune":
+                self.stats.tune_queries += 1
             else:
                 self.stats.model_queries += 1
 
@@ -720,6 +805,24 @@ class ServingDaemon:
         if deadline_ms is not None:
             deadline = time.monotonic() + float(deadline_ms) / 1000.0
         return network, batch_size, seed, compose, deadline
+
+    def _parse_tune_params(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Search-budget fields of a ``tune`` request (omitted = defaults)."""
+        from repro.serving import search as search_mod
+
+        params = {
+            "num_rounds": int(message.get("rounds", search_mod.DEFAULT_NUM_ROUNDS)),
+            "population": int(message.get("population", search_mod.DEFAULT_POPULATION)),
+            "measurements_per_round": int(
+                message.get(
+                    "measurements_per_round", search_mod.DEFAULT_MEASUREMENTS_PER_ROUND
+                )
+            ),
+        }
+        for field_name, value in params.items():
+            if value <= 0:
+                raise ServingError(f"{field_name} must be positive, got {value}")
+        return params
 
     def _served_device(self, name: Any) -> DeviceSpec:
         if not name:
@@ -748,6 +851,22 @@ class ServingDaemon:
                 op="query",
                 batch_size=item.batch_size,
                 **_prediction_fields(prediction),
+            ),
+        )
+
+    def _complete_tune(self, item: _WorkItem, tuning) -> None:
+        if item.collector is not None:
+            item.collector.add(tuning)
+            return
+        self._send(
+            item.stream,
+            ok_payload(
+                item.request_id,
+                op="tune",
+                network=item.network,
+                batch_size=item.batch_size,
+                results=[tuning.to_dict()],
+                errors={},
             ),
         )
 
@@ -790,6 +909,7 @@ class ServingDaemon:
                 "requests": self.stats.requests,
                 "queries": self.stats.queries,
                 "model_queries": self.stats.model_queries,
+                "tune_queries": self.stats.tune_queries,
                 "health_checks": self.stats.health_checks,
                 "stats_requests": self.stats.stats_requests,
                 "responses": self.stats.responses,
@@ -802,9 +922,12 @@ class ServingDaemon:
             }
         daemon["pending"] = self.pending
         daemon["uptime_s"] = (time.monotonic() - self._started_at) if self._started_at else 0.0
-        shards = {
-            name: worker.fleet.describe_stats() for name, worker in self._shards.items()
-        }
+        shards = {}
+        for name, worker in self._shards.items():
+            shard_stats = worker.fleet.describe_stats()
+            if worker._search is not None:
+                shard_stats["search"] = worker._search.describe_stats()
+            shards[name] = shard_stats
         return ok_payload(request_id, op="stats", daemon=daemon, shards=shards)
 
     # ------------------------------------------------------------------

@@ -233,6 +233,15 @@ class FleetService:
         """The shared per-kernel service (for direct program-level queries)."""
         return self._service
 
+    def add_swap_listener(self, listener) -> None:
+        """Register ``listener(device_name)`` for model swaps on any device.
+
+        Fires for :meth:`register_device` and :meth:`onboard_device` alike
+        (both route through the kernel service's ``swap_model``); see
+        :meth:`PredictionService.add_swap_listener`.
+        """
+        self._service.add_swap_listener(listener)
+
     # ------------------------------------------------------------------
     # Partitioning
     # ------------------------------------------------------------------

@@ -20,6 +20,13 @@ Requests
 
       {"op": "predict-model", "network": "resnet50", "devices": ["t4", "k80"]}
 
+* ``tune`` — cost-model-guided schedule search for one network on one or
+  more devices (default: every device the daemon serves), answered from the
+  daemon's persistent search cache when the exact tuning is already known::
+
+      {"op": "tune", "network": "bert_tiny", "devices": ["t4"],
+       "rounds": 6, "population": 12, "measurements_per_round": 3, "seed": 0}
+
 * ``stats`` — daemon + per-shard serving counters.
 * ``health`` — liveness probe: status, uptime, served devices, queue depth.
 
@@ -60,7 +67,7 @@ from repro.errors import ServingError
 #: Protocol revision, reported by ``health``; bump on breaking wire changes.
 PROTOCOL_VERSION = 1
 
-OPS = ("query", "predict-model", "stats", "health")
+OPS = ("query", "predict-model", "tune", "stats", "health")
 
 E_BAD_REQUEST = "bad_request"
 E_OVERLOADED = "overloaded"

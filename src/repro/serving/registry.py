@@ -54,6 +54,22 @@ class ModelRegistry:
         self.root = Path(root) if root is not None else default_registry_root()
         # (name, checkpoint mtime) -> loaded model, for load_shared().
         self._load_cache: Dict[tuple, LoadedModel] = {}
+        self._search_cache = None
+
+    @property
+    def search_cache(self):
+        """Persisted schedule-search results living next to the checkpoints.
+
+        Lazy so registries that never tune pay nothing; see
+        :class:`repro.serving.search_cache.SearchCache` for the invalidation
+        semantics (re-registering or deleting a checkpoint evicts its
+        tunings — see :meth:`save` / :meth:`delete`).
+        """
+        if self._search_cache is None:
+            from repro.serving.search_cache import SearchCache
+
+            self._search_cache = SearchCache(self.root / "search")
+        return self._search_cache
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -106,9 +122,17 @@ class ModelRegistry:
         """
         extra = {"registry_name": name, "version": __version__, **annotations}
         path = self.path_for(name)
+        existed = path.exists()
         if isinstance(model, Trainer):
-            return save_trainer(model, path, extra_meta=extra)
-        return as_cost_model(model).save(path, extra_meta=extra)
+            saved = save_trainer(model, path, extra_meta=extra)
+        else:
+            saved = as_cost_model(model).save(path, extra_meta=extra)
+        if existed:
+            # Re-registering under the same name (retrain/finetune) makes any
+            # schedule tuning done against the old weights stale — the new
+            # model may share the old cache_signature, so evict by name.
+            self.search_cache.invalidate_model(name)
+        return saved
 
     def load(self, name: str) -> LoadedModel:
         """Load a registered cost model, ready to answer queries.
@@ -163,6 +187,8 @@ class ModelRegistry:
         path = self.path_for(name)
         if path.exists():
             path.unlink()
+            # Tunings searched against the deleted checkpoint are orphans.
+            self.search_cache.invalidate_model(name)
             return True
         return False
 

@@ -162,6 +162,10 @@ class PredictionService:
             prediction_cache if prediction_cache is not None else LRUCache(prediction_cache_size)
         )
         self.stats = ServingStats()
+        # Called with the device name after every swap_model; lets higher
+        # tiers (the search-result cache) invalidate state derived from the
+        # replaced model even when its cache_signature is unchanged.
+        self._swap_listeners: List = []
         self._queue: "OrderedDict[CacheKey, _QueueEntry]" = OrderedDict()
         # One reentrant lock serializes the queue, the model table and the
         # stats counters.  flush() holds it across the predictor call too:
@@ -234,6 +238,23 @@ class PredictionService:
                 invalidate_device(device)
             else:
                 self.prediction_cache.clear()
+            listeners = list(self._swap_listeners)
+        for listener in listeners:
+            listener(device)
+
+    def add_swap_listener(self, listener) -> None:
+        """Register ``listener(device_name)`` to run after every swap_model.
+
+        The predictions cache is invalidated by :meth:`swap_model` itself;
+        listeners exist for state the service cannot see — most importantly
+        cached *schedule-search results* (:class:`repro.serving.search_cache.
+        SearchCache`), which stay bit-valid only while the exact fitted model
+        that scored them keeps serving the device.  ``cache_signature`` alone
+        cannot catch a fine-tuned clone (same architecture, new weights), so
+        swap/onboard notify instead.
+        """
+        with self._lock:
+            self._swap_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Query path

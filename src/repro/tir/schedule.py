@@ -156,6 +156,70 @@ class Schedule:
         return f"Schedule({len(self.steps)} steps)"
 
 
+# ----------------------------------------------------------------------
+# JSON-friendly (de)serialization, used to persist search results
+# ----------------------------------------------------------------------
+_STEP_KINDS = {
+    "split": SplitStep,
+    "fuse": FuseStep,
+    "reorder": ReorderStep,
+    "annotate": AnnotateStep,
+    "cache": CacheStep,
+}
+
+
+def step_to_dict(step: ScheduleStep) -> Dict:
+    """One schedule step as a plain JSON-serializable dict."""
+    if isinstance(step, SplitStep):
+        return {"kind": "split", "loop": step.loop, "factors": list(step.factors)}
+    if isinstance(step, FuseStep):
+        return {"kind": "fuse", "loops": list(step.loops)}
+    if isinstance(step, ReorderStep):
+        return {"kind": "reorder", "order": list(step.order)}
+    if isinstance(step, AnnotateStep):
+        return {"kind": "annotate", "loop": step.loop, "annotation": step.annotation}
+    if isinstance(step, CacheStep):
+        return {"kind": "cache", "buffer": step.buffer, "scope": step.scope}
+    raise ScheduleError(f"cannot serialize unknown schedule step {step!r}")
+
+
+def step_from_dict(payload: Dict) -> ScheduleStep:
+    """Rebuild one schedule step from :func:`step_to_dict` output."""
+    kind = payload.get("kind")
+    if kind == "split":
+        return SplitStep(payload["loop"], tuple(payload["factors"]))
+    if kind == "fuse":
+        return FuseStep(tuple(payload["loops"]))
+    if kind == "reorder":
+        return ReorderStep(tuple(payload["order"]))
+    if kind == "annotate":
+        return AnnotateStep(payload["loop"], payload["annotation"])
+    if kind == "cache":
+        return CacheStep(payload["buffer"], payload.get("scope", "shared"))
+    raise ScheduleError(
+        f"cannot deserialize schedule step of kind {kind!r} "
+        f"(expected one of {sorted(_STEP_KINDS)})"
+    )
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict:
+    """A schedule as a JSON-serializable dict (see :func:`schedule_from_dict`).
+
+    The round-trip is exact: rebuilding yields a schedule that compares equal
+    step by step (the steps are frozen dataclasses with value equality), so a
+    persisted search result replays to the *same* lowered program.
+    """
+    return {"steps": [step_to_dict(step) for step in schedule.steps]}
+
+
+def schedule_from_dict(payload: Dict) -> Schedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output."""
+    steps = payload.get("steps")
+    if not isinstance(steps, list):
+        raise ScheduleError("schedule payload needs a 'steps' list")
+    return Schedule([step_from_dict(step) for step in steps])
+
+
 def _sample_factors(rng: np.random.Generator, extent: int, max_levels: int = 2) -> Tuple[int, ...]:
     """Sample tiling factors that are plausible for a loop of size ``extent``."""
     levels = int(rng.integers(1, max_levels + 1))

@@ -161,3 +161,73 @@ def test_stable_hash_is_stable(parts):
     """stable_hash is deterministic and bounded for arbitrary printable input."""
     assert stable_hash(*parts) == stable_hash(*parts)
     assert 0 <= stable_hash(*parts) < 2**63
+
+
+# ----------------------------------------------------------------------
+# Schedule-search invariants (the SearchService contract)
+# ----------------------------------------------------------------------
+def _flops_score(programs):
+    """A deterministic, stateless scorer: prefer fewer padded FLOPs."""
+    return np.array([float(program.stats.total_flops) for program in programs])
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    num_rounds=st.integers(min_value=1, max_value=4),
+    population=st.integers(min_value=1, max_value=6),
+    measurements=st.integers(min_value=1, max_value=4),
+)
+def test_search_best_latency_is_monotone_and_budgeted(seed, num_rounds, population, measurements):
+    """Per-round best latency never worsens and measurements respect the budget."""
+    from repro.search.ansor import evolutionary_search
+
+    task = dense(4, 16, 16, model="prop-search")
+    result = evolutionary_search(
+        task,
+        "t4",
+        _flops_score,
+        num_rounds=num_rounds,
+        population=population,
+        measurements_per_round=measurements,
+        seed=seed,
+    )
+    history = result.best_latency_per_round
+    assert len(history) == num_rounds
+    assert all(later <= earlier for earlier, later in zip(history, history[1:]))
+    assert result.best_latency_s == history[-1] > 0
+    assert result.num_measurements <= num_rounds * max(measurements, 1)
+    assert result.num_scored == num_rounds * population
+    assert result.scoring_batches == num_rounds
+    assert result.best_schedule is not None
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_perfect_oracle_never_loses_to_random_scorer(seed):
+    """A ScoreFn returning the true simulated latency finds a schedule at
+    least as fast as a random scorer under the identical search budget.
+
+    Both searches share one seed, so they sample identical candidate pools;
+    the oracle's measured top-k always contains the pool's true best, while
+    the random scorer measures an arbitrary subset.
+    """
+    from repro.search.ansor import evolutionary_search
+
+    task = dense(4, 16, 16, model="prop-search")
+    device = get_device("t4")
+    budget = dict(num_rounds=2, population=6, measurements_per_round=2, seed=seed)
+
+    oracle_sim = DeviceSimulator(device, seed=seed)  # same stream as the search's
+
+    def oracle(programs):
+        return np.array([oracle_sim.measure(program) for program in programs])
+
+    score_rng = np.random.default_rng(seed + 1)
+
+    def random_scorer(programs):
+        return score_rng.random(len(programs))
+
+    best_oracle = evolutionary_search(task, device, oracle, **budget).best_latency_s
+    best_random = evolutionary_search(task, device, random_scorer, **budget).best_latency_s
+    assert best_oracle <= best_random * (1 + 1e-12)
