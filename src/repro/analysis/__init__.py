@@ -1,10 +1,19 @@
-"""Analysis helpers: distribution statistics and latent-space projections."""
+"""Analysis helpers: distribution statistics, latent-space projections, and
+the codebase-aware static checker (``python -m repro.analysis``)."""
 
 from repro.analysis.distribution import (
     ast_node_distribution,
     latency_distribution,
     normality_score,
     skewness,
+)
+from repro.analysis.lint import (
+    Finding,
+    LintReport,
+    Rule,
+    RULE_REGISTRY,
+    register_rule,
+    run_lint,
 )
 from repro.analysis.projection import pca_project, tsne_project
 
@@ -15,4 +24,10 @@ __all__ = [
     "normality_score",
     "pca_project",
     "tsne_project",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "run_lint",
 ]

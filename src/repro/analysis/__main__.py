@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run the static checker."""
+
+import sys
+
+from repro.analysis.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ _DEFAULT_RNG = new_rng("nn-init")
 
 def set_default_seed(seed: int | str | None) -> None:
     """Reset the default initialisation stream (used by tests and the auto-tuner)."""
+    # repro-lint: disable=thread-global -- rebound only during single-threaded setup (tests/tuner), never while worker threads run
     global _DEFAULT_RNG
     _DEFAULT_RNG = new_rng(seed)
 

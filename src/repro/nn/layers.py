@@ -66,6 +66,7 @@ class Dropout(Module):
         if not 0.0 <= rate < 1.0:
             raise ModelError(f"dropout rate must be in [0, 1), got {rate}")
         self.rate = float(rate)
+        # repro-lint: disable=rng-generator-alias -- layer API contract: the owning model hands each layer its dedicated stream; forking here would desync every seeded training run
         self._rng = rng or init.default_rng()
 
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102

@@ -27,7 +27,7 @@ from repro.tir.lower import lower
 from repro.tir.program import TensorProgram
 from repro.tir.schedule import Schedule, random_schedule, schedule_from_dict, schedule_to_dict
 from repro.tir.task import Task
-from repro.utils.rng import new_rng, spawn_rng
+from repro.utils.rng import derive_rng, spawn_rng
 
 # A cost model for search: maps a list of candidate programs to scores where
 # LOWER means predicted-faster.  Must return one finite score per candidate.
@@ -118,9 +118,7 @@ def _search_rng(seed: Union[int, str, tuple, np.random.Generator, None]) -> np.r
     embeds a memory address, inside ``DeviceSimulator`` -- so a Generator now
     derives an independent child stream instead.
     """
-    if isinstance(seed, np.random.Generator):
-        return spawn_rng(seed, "evolutionary-search")
-    return new_rng(seed)
+    return derive_rng(seed, "evolutionary-search")
 
 
 def evolutionary_search(

@@ -86,11 +86,11 @@ class LRUCache:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -150,8 +150,10 @@ class LRUCache:
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when never queried)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:  # one consistent (hits, misses) snapshot
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def stats(self) -> dict:
         """Counters as a plain dict (for logging / the CLI stats line)."""
@@ -166,10 +168,11 @@ class LRUCache:
             }
 
     def __repr__(self) -> str:
-        return (
-            f"LRUCache(size={len(self._entries)}/{self.capacity}, "
-            f"hits={self.hits}, misses={self.misses})"
-        )
+        with self._lock:
+            return (
+                f"LRUCache(size={len(self._entries)}/{self.capacity}, "
+                f"hits={self.hits}, misses={self.misses})"
+            )
 
 
 class DeviceShardedCache:
@@ -199,8 +202,8 @@ class DeviceShardedCache:
                 f"cache capacity must be positive, got {capacity_per_device}"
             )
         self.capacity_per_device = int(capacity_per_device)
-        self._shards: "OrderedDict[str, LRUCache]" = OrderedDict()
         self._lock = threading.RLock()
+        self._shards: "OrderedDict[str, LRUCache]" = OrderedDict()  # guarded-by: _lock
 
     @staticmethod
     def device_of(key: CacheKey) -> str:
@@ -318,6 +321,6 @@ class DeviceShardedCache:
 
     def __repr__(self) -> str:
         return (
-            f"DeviceShardedCache(devices={list(self._shards)}, size={len(self)}, "
+            f"DeviceShardedCache(devices={list(self.devices)}, size={len(self)}, "
             f"hits={self.hits}, misses={self.misses})"
         )

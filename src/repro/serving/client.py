@@ -52,8 +52,8 @@ class DaemonClient:
         sock = socket.create_connection((host, port), timeout=timeout_s)
         self._stream = MessageStream(sock)
         self._lock = threading.Lock()
-        self._next_id = 0
-        self._responses: Dict[Any, Dict[str, Any]] = {}
+        self._next_id = 0  # guarded-by: _lock
+        self._responses: Dict[Any, Dict[str, Any]] = {}  # guarded-by: _lock
         self.host = host
         self.port = port
 

@@ -153,49 +153,52 @@ class _Fanout:
         self._op = op
         self._network = network
         self._batch_size = batch_size
-        self._remaining = expected
         self._lock = threading.Lock()
-        self._results: List[Any] = []
-        self._errors: Dict[str, Dict[str, str]] = {}
+        self._remaining = expected  # guarded-by: _lock
+        self._results: List[Any] = []  # guarded-by: _lock
+        self._errors: Dict[str, Dict[str, str]] = {}  # guarded-by: _lock
 
     def add(self, result: Any) -> None:
         with self._lock:
             self._results.append(result)
             self._remaining -= 1
-            done = self._remaining == 0
-        if done:
-            self._respond()
+            # Build the response while still holding the lock: a sibling leg
+            # finishing between the decrement and the read would otherwise
+            # see a half-assembled result list.
+            payload = self._payload() if self._remaining == 0 else None
+        if payload is not None:
+            self._daemon._send(self._stream, payload)
 
     def add_error(self, device: str, code: str, message: str) -> None:
         with self._lock:
             self._errors[device] = {"code": code, "message": message}
             self._remaining -= 1
-            done = self._remaining == 0
-        if done:
-            self._respond()
+            payload = self._payload() if self._remaining == 0 else None
+        if payload is not None:
+            self._daemon._send(self._stream, payload)
 
+    # requires-lock: _lock
     def _result_fields(self) -> List[Dict[str, Any]]:
         if self._op == "tune":
             return [tuning.to_dict() for tuning in self._results]
         results = sorted(self._results, key=lambda p: p.predicted_latency_s)
         return [_prediction_fields(p) for p in results]
 
-    def _respond(self) -> None:
+    # requires-lock: _lock
+    def _payload(self) -> Dict[str, Any]:
         if not self._results:
             first = next(iter(self._errors.values()))
-            payload = error_payload(
+            return error_payload(
                 first["code"], first["message"], self._request_id, devices=self._errors
             )
-        else:
-            payload = ok_payload(
-                self._request_id,
-                op=self._op,
-                network=self._network,
-                batch_size=self._batch_size,
-                results=self._result_fields(),
-                errors=self._errors,
-            )
-        self._daemon._send(self._stream, payload)
+        return ok_payload(
+            self._request_id,
+            op=self._op,
+            network=self._network,
+            batch_size=self._batch_size,
+            results=self._result_fields(),
+            errors=self._errors,
+        )
 
 
 def _prediction_fields(prediction: FleetPrediction) -> Dict[str, Any]:
@@ -277,10 +280,10 @@ class _ShardWorker(threading.Thread):
             gap_s=daemon.gap_s,
         )
         self._search: Optional["SearchService"] = None
-        self._items: deque = deque()
         self._cond = threading.Condition()
-        self._stop_requested = False
-        self._drain = True
+        self._items: deque = deque()  # guarded-by: _cond
+        self._stop_requested = False  # guarded-by: _cond
+        self._drain = True  # guarded-by: _cond
 
     @property
     def search(self) -> "SearchService":
@@ -323,6 +326,7 @@ class _ShardWorker(threading.Thread):
     #: by scheduling jitter and shed the very request it tried to rescue.
     _DEADLINE_FLUSH_LEAD_S = 0.005
 
+    # requires-lock: _cond
     def _window_remaining(self) -> float:
         """Seconds until this shard must flush (<= 0 = flush now).
 
@@ -339,6 +343,7 @@ class _ShardWorker(threading.Thread):
             flush_at = min(flush_at, min(deadlines) - self._DEADLINE_FLUSH_LEAD_S)
         return flush_at - now
 
+    # requires-lock: _cond
     def _take_batch(self) -> Tuple[List[_WorkItem], List[_WorkItem]]:
         """Split the queue into (batch to serve, expired items to shed).
 
@@ -493,19 +498,21 @@ class ServingDaemon:
             self._shards[spec.name] = _ShardWorker(
                 self, spec, model, model_name=model_names.get(spec.name)
             )
-        self.stats = DaemonStats()
         self._stats_lock = threading.Lock()
+        self.stats = DaemonStats()  # guarded-by: _stats_lock
         self._admission_lock = threading.Lock()
-        self._streams: "set[MessageStream]" = set()
         self._streams_lock = threading.Lock()
-        self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
-        self._accepting = False
-        self._started = False
-        self._stopped = False
-        self._started_at: Optional[float] = None
-        self._shutdown_event = threading.Event()
+        self._streams: "set[MessageStream]" = set()  # guarded-by: _streams_lock
         self._lifecycle_lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None  # guarded-by: _lifecycle_lock
+        self._accept_thread: Optional[threading.Thread] = None  # guarded-by: _lifecycle_lock
+        self._started_at: Optional[float] = None  # guarded-by: _lifecycle_lock
+        # Lifecycle flags are Events, not booleans: the accept loop, dispatch
+        # path and health checks read them without taking _lifecycle_lock.
+        self._accepting = threading.Event()
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_event = threading.Event()
 
     # ------------------------------------------------------------------
     # Construction
@@ -554,13 +561,13 @@ class ServingDaemon:
     def start(self) -> "ServingDaemon":
         """Bind the socket, start shard workers and the accept loop."""
         with self._lifecycle_lock:
-            if self._started:
+            if self._started.is_set():
                 raise ServingError("daemon already started")
             self._listener = socket.create_server(
                 (self.config.host, self.config.port), backlog=128
             )
-            self._accepting = True
-            self._started = True
+            self._accepting.set()
+            self._started.set()
             self._started_at = time.monotonic()
             for worker in self._shards.values():
                 worker.start()
@@ -573,14 +580,20 @@ class ServingDaemon:
     @property
     def address(self) -> Tuple[str, int]:
         """The bound (host, port); the OS-assigned port when port=0 was asked."""
-        if self._listener is None:
+        with self._lifecycle_lock:
+            listener = self._listener
+        if listener is None:
             raise ServingError("daemon not started")
-        return self._listener.getsockname()[:2]
+        return listener.getsockname()[:2]
 
     @property
     def running(self) -> bool:
         """Whether the daemon is accepting new work."""
-        return self._started and self._accepting and not self._stopped
+        return (
+            self._started.is_set()
+            and self._accepting.is_set()
+            and not self._stopped.is_set()
+        )
 
     @property
     def pending(self) -> int:
@@ -618,9 +631,9 @@ class ServingDaemon:
         ``shutting_down``.  Idempotent.
         """
         with self._lifecycle_lock:
-            if not self._started or self._stopped:
+            if not self._started.is_set() or self._stopped.is_set():
                 return
-            self._accepting = False
+            self._accepting.clear()
             if self._listener is not None:
                 try:
                     self._listener.close()
@@ -638,16 +651,18 @@ class ServingDaemon:
                 self._streams.clear()
             for stream in streams:
                 stream.close()
-            self._stopped = True
+            self._stopped.set()
             self._shutdown_event.set()
 
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
     def _accept_loop(self) -> None:
-        while self._accepting:
+        with self._lifecycle_lock:
+            listener = self._listener
+        while self._accepting.is_set():
             try:
-                conn, _ = self._listener.accept()
+                conn, _ = listener.accept()
             except OSError:
                 break  # listener closed by stop()
             stream = MessageStream(conn)
@@ -710,7 +725,7 @@ class ServingDaemon:
                 self.stats.stats_requests += 1
             self._send(stream, self._stats_payload(request_id))
             return
-        if not self._accepting:
+        if not self._accepting.is_set():
             with self._stats_lock:
                 self.stats.rejected_shutting_down += 1
             self._send(
@@ -890,16 +905,21 @@ class ServingDaemon:
     # ------------------------------------------------------------------
     # Introspection payloads
     # ------------------------------------------------------------------
+    def _uptime_s(self) -> float:
+        with self._lifecycle_lock:
+            started_at = self._started_at
+        return (time.monotonic() - started_at) if started_at else 0.0
+
     def _health_payload(self, request_id: Any) -> Dict[str, Any]:
         return ok_payload(
             request_id,
             op="health",
-            status="serving" if self._accepting else "draining",
+            status="serving" if self._accepting.is_set() else "draining",
             protocol=PROTOCOL_VERSION,
             version=__version__,
             devices=self.devices,
             pending=self.pending,
-            uptime_s=(time.monotonic() - self._started_at) if self._started_at else 0.0,
+            uptime_s=self._uptime_s(),
         )
 
     def _stats_payload(self, request_id: Any) -> Dict[str, Any]:
@@ -921,7 +941,7 @@ class ServingDaemon:
                 "internal_errors": self.stats.internal_errors,
             }
         daemon["pending"] = self.pending
-        daemon["uptime_s"] = (time.monotonic() - self._started_at) if self._started_at else 0.0
+        daemon["uptime_s"] = self._uptime_s()
         shards = {}
         for name, worker in self._shards.items():
             shard_stats = worker.fleet.describe_stats()
@@ -932,15 +952,16 @@ class ServingDaemon:
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ServingDaemon":
-        return self.start() if not self._started else self
+        return self.start() if not self._started.is_set() else self
 
     def __exit__(self, *exc_info) -> None:
         self.stop(drain=True)
 
     def __repr__(self) -> str:
-        state = "running" if self.running else ("stopped" if self._stopped else "new")
+        stopped = self._stopped.is_set()
+        state = "running" if self.running else ("stopped" if stopped else "new")
         addr = ""
-        if self._listener is not None and not self._stopped:
+        if self._started.is_set() and not stopped:
             try:
                 host, port = self.address
                 addr = f", address={host}:{port}"

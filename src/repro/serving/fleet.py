@@ -140,10 +140,10 @@ class FleetService:
             prediction_cache=self.prediction_cache,
         )
         self._dfg_cache = LRUCache(64)
-        self.stats = FleetStats()
         # Guards the fleet-level counters; the heavy lifting (queue, caches)
         # is protected by the underlying PredictionService's own lock.
         self._stats_lock = threading.Lock()
+        self.stats = FleetStats()  # guarded-by: _stats_lock
 
     # ------------------------------------------------------------------
     # Construction / fleet management

@@ -124,8 +124,8 @@ class MessageStream:
     def __init__(self, sock: socket.socket):
         self._sock = sock
         self._send_lock = threading.Lock()
-        self._buffer = b""
-        self._closed = False
+        self._buffer = b""  # only touched by the single reader thread
+        self._closed = False  # guarded-by: _send_lock
 
     def send(self, message: Dict[str, Any]) -> bool:
         """Send one message; returns False when the peer is gone."""

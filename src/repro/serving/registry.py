@@ -18,6 +18,7 @@ protocol consumer adapts via :func:`repro.backends.as_cost_model`).
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -52,9 +53,14 @@ class ModelRegistry:
 
     def __init__(self, root: Optional[PathLike] = None):
         self.root = Path(root) if root is not None else default_registry_root()
+        # Reentrant: delete() holds the lock while reading the lazy
+        # search_cache property.  One registry is shared by every shard
+        # worker of a ServingDaemon, so the memo table and the lazily
+        # created search cache must not race.
+        self._lock = threading.RLock()
         # (name, checkpoint mtime) -> loaded model, for load_shared().
-        self._load_cache: Dict[tuple, LoadedModel] = {}
-        self._search_cache = None
+        self._load_cache: Dict[tuple, LoadedModel] = {}  # guarded-by: _lock
+        self._search_cache = None  # guarded-by: _lock
 
     @property
     def search_cache(self):
@@ -65,11 +71,12 @@ class ModelRegistry:
         semantics (re-registering or deleting a checkpoint evicts its
         tunings — see :meth:`save` / :meth:`delete`).
         """
-        if self._search_cache is None:
-            from repro.serving.search_cache import SearchCache
+        with self._lock:
+            if self._search_cache is None:
+                from repro.serving.search_cache import SearchCache
 
-            self._search_cache = SearchCache(self.root / "search")
-        return self._search_cache
+                self._search_cache = SearchCache(self.root / "search")
+            return self._search_cache
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -166,13 +173,14 @@ class ModelRegistry:
         if not path.exists():
             return self.load(name)  # raises with the standard message
         key = (name, path.stat().st_mtime_ns)
-        model = self._load_cache.get(key)
-        if model is None:
-            model = self._load_cache[key] = self.load(name)
-            # Drop stale mtimes of the same name so the cache stays bounded.
-            for stale in [k for k in self._load_cache if k[0] == name and k != key]:
-                del self._load_cache[stale]
-        return model
+        with self._lock:
+            model = self._load_cache.get(key)
+            if model is None:
+                model = self._load_cache[key] = self.load(name)
+                # Drop stale mtimes of the same name so the cache stays bounded.
+                for stale in [k for k in self._load_cache if k[0] == name and k != key]:
+                    del self._load_cache[stale]
+            return model
 
     def delete(self, name: str) -> bool:
         """Remove a registered model; returns whether it existed.
@@ -182,15 +190,16 @@ class ModelRegistry:
         dead model, even if the new checkpoint's mtime collides with the old
         one's.
         """
-        for stale in [k for k in self._load_cache if k[0] == name]:
-            del self._load_cache[stale]
-        path = self.path_for(name)
-        if path.exists():
-            path.unlink()
-            # Tunings searched against the deleted checkpoint are orphans.
-            self.search_cache.invalidate_model(name)
-            return True
-        return False
+        with self._lock:
+            for stale in [k for k in self._load_cache if k[0] == name]:
+                del self._load_cache[stale]
+            path = self.path_for(name)
+            if path.exists():
+                path.unlink()
+                # Tunings searched against the deleted checkpoint are orphans.
+                self.search_cache.invalidate_model(name)
+                return True
+            return False
 
     def __contains__(self, name: str) -> bool:
         return self.exists(name)

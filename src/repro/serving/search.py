@@ -168,17 +168,17 @@ class SearchService:
             self.cache = registry.search_cache
         else:
             self.cache = SearchCache()
+        self._lock = threading.RLock()
         if model_names is None:
-            self._model_names: Dict[str, str] = {}
+            self._model_names: Dict[str, str] = {}  # guarded-by: _lock
             self._shared_name: Optional[str] = None
         elif isinstance(model_names, str):
-            self._model_names = {}
+            self._model_names = {}  # guarded-by: _lock
             self._shared_name = model_names
         else:
-            self._model_names = {get_device(d).name: n for d, n in model_names.items()}
+            self._model_names = {get_device(d).name: n for d, n in model_names.items()}  # guarded-by: _lock
             self._shared_name = None
-        self.stats = SearchServiceStats()
-        self._lock = threading.RLock()
+        self.stats = SearchServiceStats()  # guarded-by: _lock
         # A swap on any device (register_device / onboard_device / raw
         # swap_model) makes that device's cached tunings stale even when the
         # new model's cache_signature matches the old one's.

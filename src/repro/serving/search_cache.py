@@ -83,8 +83,8 @@ class SearchCache:
         self.root = Path(root) if root is not None else None
         self._lock = threading.RLock()
         # key -> entry payload (the same dict shape that lands on disk).
-        self._entries: Dict[str, Dict] = {}
-        self._stats = SearchCacheStats()
+        self._entries: Dict[str, Dict] = {}  # guarded-by: _lock
+        self._stats = SearchCacheStats()  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Keying
@@ -238,6 +238,7 @@ class SearchCache:
                 os.unlink(tmp)
             raise
 
+    # requires-lock: _lock
     def _load_all_disk(self) -> None:
         """Pull any entries written by other processes into memory."""
         if self.root is None or not self.root.is_dir():

@@ -144,12 +144,12 @@ class PredictionService:
             # Devices handing in the same model object share one adapter, so
             # their queries land in one batch group at flush time.
             adapters: Dict[int, CostModel] = {}
-            self._models: Dict[str, CostModel] = {
+            self._models: Dict[str, CostModel] = {  # guarded-by: _lock
                 name: adapters.setdefault(id(model), _as_serving_model(model))
                 for name, model in models.items()
             }
         else:
-            self._models = {DEFAULT_DEVICE: _as_serving_model(models)}
+            self._models = {DEFAULT_DEVICE: _as_serving_model(models)}  # guarded-by: _lock
         if max_batch_size <= 0:
             raise ServingError(f"max_batch_size must be positive, got {max_batch_size}")
         self.max_batch_size = int(max_batch_size)
@@ -161,18 +161,18 @@ class PredictionService:
         self.prediction_cache = (
             prediction_cache if prediction_cache is not None else LRUCache(prediction_cache_size)
         )
-        self.stats = ServingStats()
-        # Called with the device name after every swap_model; lets higher
-        # tiers (the search-result cache) invalidate state derived from the
-        # replaced model even when its cache_signature is unchanged.
-        self._swap_listeners: List = []
-        self._queue: "OrderedDict[CacheKey, _QueueEntry]" = OrderedDict()
         # One reentrant lock serializes the queue, the model table and the
         # stats counters.  flush() holds it across the predictor call too:
         # cheaper-but-racier schemes (detach the queue, predict unlocked)
         # would let swap_model() retire a model while a detached flush is
         # still writing its stale predictions into the cache.
         self._lock = threading.RLock()
+        self.stats = ServingStats()  # guarded-by: _lock
+        # Called with the device name after every swap_model; lets higher
+        # tiers (the search-result cache) invalidate state derived from the
+        # replaced model even when its cache_signature is unchanged.
+        self._swap_listeners: List = []  # guarded-by: _lock
+        self._queue: "OrderedDict[CacheKey, _QueueEntry]" = OrderedDict()  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Model management
@@ -196,7 +196,8 @@ class PredictionService:
     @property
     def devices(self) -> List[str]:
         """Sorted device names with a dedicated model (``"*"`` = fallback)."""
-        return sorted(self._models)
+        with self._lock:
+            return sorted(self._models)
 
     def model_for(self, device: Union[str, DeviceSpec]) -> CostModel:
         """The model that serves ``device`` (exact entry, else the fallback)."""
@@ -206,7 +207,7 @@ class PredictionService:
         if model is None:
             raise ServingError(
                 f"no model registered for device {name!r} "
-                f"(devices: {', '.join(sorted(self._models))}; add one under '*' as fallback)"
+                f"(devices: {', '.join(self.devices)}; add one under '*' as fallback)"
             )
         return model
 
@@ -293,6 +294,7 @@ class PredictionService:
                 self.flush()
             return ticket
 
+    # requires-lock: _lock
     def _predict_group(self, model: CostModel, queue, keys: List[CacheKey]) -> np.ndarray:
         """One vectorized backend call for every queued query of one model.
 
@@ -452,6 +454,6 @@ class PredictionService:
 
     def __repr__(self) -> str:
         return (
-            f"PredictionService(models={sorted(self._models)}, pending={self.pending}, "
+            f"PredictionService(models={self.devices}, pending={self.pending}, "
             f"prediction_cache={self.prediction_cache!r})"
         )

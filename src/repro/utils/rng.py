@@ -57,6 +57,22 @@ def spawn_rng(rng: np.random.Generator, *labels: object) -> np.random.Generator:
     return np.random.default_rng(stable_hash(base, *labels))
 
 
+def derive_rng(seed: Seedable, *labels: object) -> np.random.Generator:
+    """A generator that is *never* an alias of a caller's generator.
+
+    ``new_rng`` deliberately returns a passed ``Generator`` unchanged, which
+    is right for transient local use but wrong for state stored on ``self``:
+    two components holding the same generator consume each other's draws (the
+    aliasing bug the ``rng-generator-alias`` lint rule guards against).  This
+    helper keeps ``new_rng``'s int/str/None behaviour byte-identical while
+    forking an independent child stream (via :func:`spawn_rng`, tagged with
+    ``labels``) when handed a live generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return spawn_rng(seed, *labels)
+    return new_rng(seed)
+
+
 def choice_without_replacement(
     rng: np.random.Generator, items: Iterable[object], count: int
 ) -> list:

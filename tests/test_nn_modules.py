@@ -43,12 +43,14 @@ class TestModuleInfrastructure:
         mlp_b = MLP(4, [8], 2, rng=np.random.default_rng(1))
         x = Tensor(np.random.default_rng(2).normal(size=(5, 4)))
         assert not np.allclose(mlp_a(x).data, mlp_b(x).data)
+        # repro-lint: disable=clone-discipline -- the roundtrip under test IS a cross-model state_dict load
         mlp_b.load_state_dict(mlp_a.state_dict())
         assert np.allclose(mlp_a(x).data, mlp_b(x).data)
 
     def test_state_dict_mismatch_raises(self):
         mlp = MLP(4, [8], 2)
         with pytest.raises(ModelError):
+            # repro-lint: disable=clone-discipline -- deliberately feeding a bogus state_dict to test the mismatch error
             mlp.load_state_dict({"bogus": np.zeros(3)})
 
     def test_train_eval_propagates(self):

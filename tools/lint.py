@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Run the repro static checker (see src/repro/analysis/).
+
+Thin wrapper so the checker is runnable without setting PYTHONPATH:
+
+    python tools/lint.py --strict src tests benchmarks examples tools
+
+Exit codes follow tools/check_docs.py: 0 clean, 1 findings, 2 usage error.
+Rule catalogue and suppression syntax: docs/analysis.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis.lint import main as lint_main
+
+    return lint_main(sys.argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())
