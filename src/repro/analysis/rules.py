@@ -22,6 +22,10 @@ protocol-conformance   a backend registered without the full ``CostModel``
                        surface, failing only at call time
 broad-except           ``except Exception``/bare ``except`` silently swallowing
                        serving-tier errors
+inference-autograd     serving hot paths building autograd graphs — the tiered
+                       inference refactor moved serving onto the graph-free
+                       ``Module.infer`` path; a stray ``Tensor(...)`` or
+                       ``.forward(...)`` silently reintroduces tape overhead
 =====================  ========================================================
 
 See ``docs/analysis.md`` for the full catalogue and the annotation syntax.
@@ -50,6 +54,7 @@ __all__ = [
     "ThreadGlobalRule",
     "ProtocolConformanceRule",
     "BroadExceptRule",
+    "InferenceAutogradRule",
 ]
 
 
@@ -896,3 +901,48 @@ class BroadExceptRule(Rule):
                 ):
                     return True
         return False
+
+
+# ---------------------------------------------------------------------------
+# inference-autograd
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class InferenceAutogradRule(Rule):
+    """Serving hot paths stay on the autograd-free inference path: no
+    ``Tensor(...)`` construction and no direct ``.forward(...)`` calls in
+    ``serving/`` — the predictors' ``infer``/``predict_*`` entry points
+    operate on raw ndarrays without building a tape."""
+
+    id = "inference-autograd"
+    severity = "error"
+    description = (
+        "no Tensor(...) construction or .forward(...) calls in serving/; "
+        "serve through the autograd-free infer path"
+    )
+
+    SCOPE = ("repro", "serving")
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(*self.SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _terminal_name(node.func) == "Tensor":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "'Tensor(...)' builds an autograd graph on the serving hot "
+                    "path; serve through the model's predict_*/infer entry "
+                    "points, which stay on raw ndarrays",
+                )
+            elif isinstance(node.func, ast.Attribute) and node.func.attr == "forward":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "direct '.forward(...)' runs the autograd forward pass on "
+                    "the serving hot path; call the inference-mode entry point "
+                    "(Module.infer / predictor.infer) instead",
+                )

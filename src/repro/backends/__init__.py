@@ -21,6 +21,7 @@ from repro.backends.base import (
 )
 from repro.backends.baseline import BaselineBackend
 from repro.backends.cdmpp import CDMPPBackend
+from repro.backends.distilled import DistilledBackend
 from repro.backends.registry import (
     LEGACY_BACKEND,
     available_backends,
@@ -35,6 +36,7 @@ __all__ = [
     "BaselineBackend",
     "CDMPPBackend",
     "CostModel",
+    "DistilledBackend",
     "LEGACY_BACKEND",
     "TrainStats",
     "as_cost_model",

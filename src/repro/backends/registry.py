@@ -126,6 +126,7 @@ def load_backend(path) -> CostModel:
 def _register_builtin_backends() -> None:
     from repro.backends.baseline import BaselineBackend
     from repro.backends.cdmpp import CDMPPBackend
+    from repro.backends.distilled import DistilledBackend
     from repro.baselines.registry import RUNNABLE_BASELINES
 
     register_backend(
@@ -133,6 +134,12 @@ def _register_builtin_backends() -> None:
         CDMPPBackend,
         CDMPPBackend.load,
         "the paper's cross-device/cross-model transformer predictor",
+    )
+    register_backend(
+        "distilled",
+        DistilledBackend,
+        DistilledBackend.load,
+        "fast-tier MLP student distilled from a CDMPP teacher",
     )
     descriptions = {
         "xgboost": "gradient-boosted trees on flat features (AutoTVM/Ansor family)",

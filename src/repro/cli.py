@@ -54,6 +54,7 @@ from repro.adaptation import STRATEGIES as ONBOARD_STRATEGIES
 from repro.adaptation import OnboardingPipeline
 from repro.backends import (
     CostModel,
+    DistilledBackend,
     available_backends,
     load_backend,
     make_backend,
@@ -67,7 +68,10 @@ from repro.devices.spec import DeviceSpec, all_device_names, get_device
 from repro.errors import ReproError
 from repro.graph.zoo import build_model, list_models, resolve_model_name
 from repro.replay.e2e import COMPOSE_MODES, measure_end_to_end
+from repro.features.pipeline import featurize_records
 from repro.serving import (
+    DEFAULT_TIER,
+    TIERS,
     DaemonClient,
     DaemonConfig,
     DaemonRequestError,
@@ -125,6 +129,16 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
         "an explicit --checkpoint; baselines register checkpoints as "
         "'<device>-<scale>-<backend>')",
     )
+
+
+def _add_tier(parser: argparse.ArgumentParser, default: Optional[str] = DEFAULT_TIER) -> None:
+    help_text = (
+        "serving tier: 'accurate' answers from the full cost model, 'fast' "
+        "from its distilled student"
+    )
+    if default is None:
+        help_text += " (default: the daemon's configured tier)"
+    parser.add_argument("--tier", choices=list(TIERS), default=default, help=help_text)
 
 
 def _add_compose(parser: argparse.ArgumentParser) -> None:
@@ -215,6 +229,7 @@ def build_cli_parser() -> argparse.ArgumentParser:
     _add_scale_seed(query)
     _add_backend(query)
     _add_checkpoint_options(query)
+    _add_tier(query)
     query.add_argument(
         "--retrain", action="store_true", help="ignore existing checkpoints and train from scratch"
     )
@@ -245,6 +260,7 @@ def build_cli_parser() -> argparse.ArgumentParser:
     _add_scale_seed(predict_model)
     _add_backend(predict_model)
     _add_checkpoint_options(predict_model)
+    _add_tier(predict_model)
     _add_compose(predict_model)
 
     tune = _sub(
@@ -497,6 +513,7 @@ def build_cli_parser() -> argparse.ArgumentParser:
     )
     _add_scale_seed(daemon)
     _add_checkpoint_options(daemon)
+    _add_tier(daemon)
     _add_compose(daemon)
     daemon.add_argument(
         "--train-missing",
@@ -527,6 +544,7 @@ def build_cli_parser() -> argparse.ArgumentParser:
     client.add_argument(
         "--timeout-s", type=float, default=60.0, help="socket timeout for each round-trip"
     )
+    _add_tier(client, default=None)
     client.add_argument(
         "--requests",
         default="-",
@@ -566,11 +584,13 @@ def _backend_phrase(backend: str) -> str:
 
 def _make_backend_for(backend: str, device_name: str, scale: ExperimentScale, seed: int) -> CostModel:
     """An unfitted backend configured for one device at one scale."""
-    if backend == "cdmpp":
+    if backend in ("cdmpp", "distilled"):
+        kwargs = {} if backend == "cdmpp" else {"seed": seed}
         return make_backend(
-            "cdmpp",
+            backend,
             predictor_config=scale.predictor_config(),
             training_config=scale.training_config(seed=seed),
+            **kwargs,
         )
     kwargs = {"seed": seed}
     if backend == "habitat":
@@ -640,6 +660,74 @@ def _resolve_model(args):
     return model, "trained", registry, name
 
 
+def _distill_training_features(device_name: str, scale_name: str, seed: int, max_leaves: int):
+    """Regenerate the deterministic training FeatureSet a teacher was fit on.
+
+    Dataset generation is seeded, so this reproduces exactly what
+    ``cdmpp train <device> --scale <scale> --seed <seed>`` featurized —
+    the right distillation set for that checkpoint's student.
+    """
+    scale = get_scale(scale_name)
+    dataset = generate_dataset(
+        DatasetConfig(devices=(device_name,), seed=seed, **scale.dataset_kwargs())
+    )
+    splits = split_dataset(dataset.records(device_name), seed=seed)
+    return featurize_records(splits.train, max_leaves=max_leaves)
+
+
+def _resolve_fast_model(args, device: DeviceSpec):
+    """Load the device's distilled student, distilling/training one if absent.
+
+    Mirrors :func:`_resolve_model` for the fast tier: an explicit distilled
+    ``--checkpoint`` wins, then the registered
+    '<device>-<scale>-distilled' entry; otherwise a student is distilled
+    from the device's registered cdmpp teacher (cheap — no teacher
+    training), or trained teacher-and-all as a last resort.  Returns
+    ``(model, source, registry, name)``.
+    """
+    registry = ModelRegistry(args.registry)
+    name = _registry_name(device.name, args.scale, "distilled")
+    requested = resolve_backend_name(getattr(args, "backend", None) or "cdmpp")
+    if requested not in ("cdmpp", "distilled"):
+        raise ReproError(
+            f"--tier fast serves a student distilled from a cdmpp teacher; it "
+            f"cannot combine with --backend {requested}"
+        )
+    if getattr(args, "checkpoint", None):
+        from repro.backends import backend_of_checkpoint
+
+        tag = resolve_backend_name(backend_of_checkpoint(args.checkpoint))
+        if tag != "distilled":
+            raise ReproError(
+                f"--tier fast needs a distilled checkpoint, but {args.checkpoint} "
+                f"was written by backend {tag!r}; drop --tier fast to serve it "
+                "as the accurate tier"
+            )
+        print(f"[cdmpp] loading distilled checkpoint {args.checkpoint} ...")
+        return load_backend(args.checkpoint), "checkpoint", registry, name
+    if not getattr(args, "retrain", False) and registry.exists(name):
+        print(f"[cdmpp] loading distilled student {name!r} from {registry.root} ...")
+        return registry.load(name), "registry", registry, name
+    teacher_name = _registry_name(device.name, args.scale, "cdmpp")
+    if not getattr(args, "retrain", False) and registry.exists(teacher_name):
+        teacher = registry.load(teacher_name)
+        print(
+            f"[cdmpp] distilling a fast-tier student from registered teacher "
+            f"{teacher_name!r} ..."
+        )
+        features = _distill_training_features(
+            device.name, args.scale, args.seed, teacher.predictor.config.max_leaves
+        )
+        model = DistilledBackend.distill_from(teacher, features, seed=args.seed)
+        return model, "trained", registry, name
+    print(
+        f"[cdmpp] training a {args.scale}-scale distilled cost model "
+        f"on device {device.name} ..."
+    )
+    model = _train_model(device.name, args.scale, args.seed, "distilled")
+    return model, "trained", registry, name
+
+
 def _parse_device_list(arg: str) -> List[DeviceSpec]:
     """Parse a --devices value ('t4,k80') into device specs (raises ReproError)."""
     names = [token.strip() for token in arg.split(",") if token.strip()]
@@ -698,9 +786,58 @@ def _fleet_models(args, specs: List[DeviceSpec], train_missing: bool) -> dict:
     return {device: load(name) for device, name in names.items()}
 
 
-def _build_fleet(args, specs: List[DeviceSpec], train_missing: bool) -> FleetService:
+def _fleet_fast_models(args, specs: List[DeviceSpec], required: bool) -> Optional[dict]:
+    """Registered '<device>-<scale>-distilled' students for a fleet's fast tier.
+
+    Serving never distills on demand (the same serve-only rule as
+    :func:`_fleet_models`): when ``required``, devices without a registered
+    student abort with the command that creates one; otherwise whatever
+    students exist are loaded and the rest of the fleet stays accurate-only.
+    Returns None when no device has a student.
+    """
+    if getattr(args, "checkpoint", None):
+        from repro.backends import backend_of_checkpoint
+
+        tag = resolve_backend_name(backend_of_checkpoint(args.checkpoint))
+        if tag != "distilled":
+            if required:
+                raise ReproError(
+                    f"--tier fast needs a distilled checkpoint, but {args.checkpoint} "
+                    f"was written by backend {tag!r}"
+                )
+            return None
+        model = load_backend(args.checkpoint)
+        return {spec.name: model for spec in specs}
+    registry = ModelRegistry(args.registry)
+    names = {spec.name: _registry_name(spec.name, args.scale, "distilled") for spec in specs}
+    missing = [device for device, name in names.items() if not registry.exists(name)]
+    if missing and required:
+        hint = " && ".join(
+            f"cdmpp query bert_tiny 1 {device} --scale {args.scale} --tier fast"
+            for device in missing
+        )
+        raise ReproError(
+            f"no distilled fast-tier checkpoint for device(s) {', '.join(missing)} in "
+            f"{registry.root} (expected {', '.join(names[d] for d in missing)}); "
+            f"distill them first, e.g.: {hint}"
+        )
+    names = {device: name for device, name in names.items() if device not in missing}
+    if not names:
+        return None
+    print(
+        f"[cdmpp] fast tier from {registry.root}: "
+        + ", ".join(f"{device}<-{name}" for device, name in names.items())
+    )
+    load = getattr(registry, "load_shared", registry.load)
+    return {device: load(name) for device, name in names.items()}
+
+
+def _build_fleet(
+    args, specs: List[DeviceSpec], train_missing: bool, tier: str = DEFAULT_TIER
+) -> FleetService:
     """A FleetService over registered checkpoints (see :func:`_fleet_models`)."""
-    return FleetService(_fleet_models(args, specs, train_missing))
+    fast_models = _fleet_fast_models(args, specs, required=True) if tier == "fast" else None
+    return FleetService(_fleet_models(args, specs, train_missing), fast_models=fast_models)
 
 
 def _open_requests(args, stream: Optional[TextIO]) -> Optional[Tuple[TextIO, Optional[TextIO]]]:
@@ -733,12 +870,14 @@ def _print_fleet_ranking(results) -> None:
         )
 
 
-def _print_query_report(prediction, ground_truth, batch_size: int, device) -> None:
+def _print_query_report(prediction, ground_truth, batch_size: int, device, tier: str) -> None:
     error = abs(prediction.predicted_latency_s - ground_truth.iteration_time_s) / max(
         ground_truth.iteration_time_s, 1e-12
     )
+    tier_phrase = "distilled student" if tier == "fast" else "full cost model"
     print(f"[cdmpp] network:             {prediction.model} (batch={batch_size}, {prediction.num_nodes} ops)")
     print(f"[cdmpp] device:              {device.name} ({device.taxonomy})")
+    print(f"[cdmpp] serving tier:        tier={tier} ({tier_phrase})")
     print(f"[cdmpp] predicted latency:   {prediction.predicted_latency_s * 1e3:.3f} ms")
     print(f"[cdmpp] simulated reference: {ground_truth.iteration_time_s * 1e3:.3f} ms")
     print(f"[cdmpp] relative error:      {error * 100:.1f}%")
@@ -779,15 +918,25 @@ def _cmd_query(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    cost_model, source, registry, name = _resolve_model(args)
+    if args.tier == "fast":
+        cost_model, source, registry, name = _resolve_fast_model(args, device)
+    else:
+        cost_model, source, registry, name = _resolve_model(args)
     if source == "trained" and not args.no_save:
         path = registry.save(name, cost_model, device=device.name, scale=args.scale, seed=args.seed)
         print(f"[cdmpp] registered {name!r} at {path}; later queries skip training")
 
-    service = PredictionService(cost_model)
-    prediction = service.predict_model(model, device, batch_size=args.batch_size, seed=args.seed)
+    if args.tier == "fast":
+        # The student serves the fast tier; the accurate slot holds it too so
+        # the service constructs, but this query never touches that table.
+        service = PredictionService(cost_model, fast_models={device.name: cost_model})
+    else:
+        service = PredictionService(cost_model)
+    prediction = service.predict_model(
+        model, device, batch_size=args.batch_size, seed=args.seed, tier=args.tier
+    )
     ground_truth = measure_end_to_end(model, device, seed=args.seed)
-    _print_query_report(prediction, ground_truth, args.batch_size, device)
+    _print_query_report(prediction, ground_truth, args.batch_size, device, args.tier)
     return 0
 
 
@@ -1020,7 +1169,7 @@ def _cmd_predict_model(args) -> int:
     try:
         specs = _parse_device_list(args.devices)
         network = resolve_model_name(args.network)
-        fleet = _build_fleet(args, specs, train_missing=False)
+        fleet = _build_fleet(args, specs, train_missing=False, tier=args.tier)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -1031,10 +1180,11 @@ def _cmd_predict_model(args) -> int:
         batch_size=args.batch_size,
         seed=args.seed,
         compose=args.compose,
+        tier=args.tier,
     )
     print(
         f"[cdmpp] {network} (batch={args.batch_size}): end-to-end latency on "
-        f"{len(results)} device(s), compose={args.compose}"
+        f"{len(results)} device(s), compose={args.compose}, tier={args.tier}"
     )
     _print_fleet_ranking(results)
     stats = fleet.describe_stats()["kernel_service"]
@@ -1239,6 +1389,7 @@ def _cmd_daemon(args) -> int:
             default_deadline_ms=args.default_deadline_ms,
             seed=args.seed,
             compose=args.compose,
+            tier=args.tier,
         )
         # Registry-backed daemons persist tune-op search results in the
         # registry's search cache (and tie them to checkpoint names for
@@ -1250,7 +1401,17 @@ def _cmd_daemon(args) -> int:
             model_names = {
                 spec.name: _registry_name(spec.name, args.scale, backend) for spec in specs
             }
-        daemon = ServingDaemon(models, config, registry=registry, model_names=model_names)
+        # Registered distilled students join as the fast tier; they are
+        # mandatory only when the daemon's *default* tier is fast (clients
+        # asking tier=fast for a student-less device get bad_request).
+        fast_models = _fleet_fast_models(args, specs, required=args.tier == "fast")
+        daemon = ServingDaemon(
+            models,
+            config,
+            registry=registry,
+            model_names=model_names,
+            fast_models=fast_models,
+        )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -1329,11 +1490,15 @@ def _cmd_client(args, stream: Optional[TextIO] = None) -> int:
                             device=target,
                             batch_size=batch_size,
                             deadline_ms=args.deadline_ms,
+                            tier=args.tier,
                         )
                         results = [result]
                     else:
                         results = client.predict_model(
-                            network, batch_size=batch_size, deadline_ms=args.deadline_ms
+                            network,
+                            batch_size=batch_size,
+                            deadline_ms=args.deadline_ms,
+                            tier=args.tier,
                         )
                 except DaemonRequestError as error:
                     print(f"error: query {line!r} failed: {error}", file=sys.stderr)
@@ -1380,7 +1545,7 @@ def _run_legacy(argv: List[str]) -> int:
     service = PredictionService(trainer)
     prediction = service.predict_model(model, device, batch_size=args.batch_size, seed=args.seed)
     ground_truth = measure_end_to_end(model, device, seed=args.seed)
-    _print_query_report(prediction, ground_truth, args.batch_size, device)
+    _print_query_report(prediction, ground_truth, args.batch_size, device, DEFAULT_TIER)
     return 0
 
 

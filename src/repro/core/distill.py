@@ -1,0 +1,193 @@
+"""Distilling the CDMPP teacher into a small MLP student (the fast tier).
+
+The serving stack offers two tiers: ``accurate`` answers straight from the
+CDMPP transformer, ``fast`` answers from a distilled student — a small MLP
+trained on the *teacher's* predictions over the training
+:class:`~repro.features.pipeline.FeatureSet` (knowledge distillation in the
+style of TLP's lightweight MLP family).  The student never sees measured
+latencies: its contract is to reproduce the teacher cheaply, so its accuracy
+is bounded by (and tracks) the teacher's.
+
+The student consumes a fixed-size pooled summary of the Compact-AST leaf
+matrix (mean pool + max pool over real leaves, the leaf count, and the device
+features), standardised with statistics fitted at distillation time, and
+regresses log-latency.  Inference runs through the autograd-free
+``Module.infer`` path only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.features.pipeline import FeatureSet
+from repro.nn.losses import mse_loss
+from repro.nn.mlp import MLP
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.utils.rng import new_rng
+
+
+def teacher_fingerprint(trainer) -> str:
+    """A stable digest of a fitted teacher's weights and normalisers.
+
+    Folded into the distilled model's ``cache_signature`` so a student
+    distilled from retrained teacher weights never aliases cached predictions
+    of a student of the old weights (same invariant the tune cache relies on).
+    """
+    hasher = hashlib.blake2b(digest_size=8)
+    for name, param in sorted(trainer.predictor.named_parameters()):
+        hasher.update(name.encode("utf-8"))
+        hasher.update(np.ascontiguousarray(param.data).tobytes())
+    for stats in (trainer._x_mean, trainer._x_std, trainer._dev_mean, trainer._dev_std):
+        if stats is not None:
+            hasher.update(np.ascontiguousarray(stats).tobytes())
+    transform = trainer.transform
+    hasher.update(
+        repr(
+            (
+                transform.name,
+                getattr(transform, "_mean", None),
+                getattr(transform, "_std", None),
+                getattr(transform, "lambda_", None),
+            )
+        ).encode("utf-8")
+    )
+    return hasher.hexdigest()
+
+
+class DistilledModel:
+    """The fast-tier student: pooled features -> log-latency MLP."""
+
+    def __init__(
+        self,
+        student: MLP,
+        rep_mean: np.ndarray,
+        rep_std: np.ndarray,
+        max_leaves: int,
+        feature_dim: int,
+        device_feature_dim: int,
+        teacher_lineage: Dict,
+    ):
+        self.student = student
+        self.rep_mean = np.asarray(rep_mean, dtype=np.float64)
+        self.rep_std = np.asarray(rep_std, dtype=np.float64)
+        self.max_leaves = int(max_leaves)
+        self.feature_dim = int(feature_dim)
+        self.device_feature_dim = int(device_feature_dim)
+        #: Where the student came from: teacher backend tag, weight
+        #: fingerprint and padding width (recorded in checkpoints).
+        self.teacher_lineage = dict(teacher_lineage)
+
+    # -- featurization ---------------------------------------------------
+    @staticmethod
+    def represent(features: FeatureSet) -> np.ndarray:
+        """Fixed-size representation of each sample (no Tensor graph).
+
+        Mean- and max-pool the leaf feature matrix over *real* leaves,
+        then append the (log) leaf count and the device features.
+        """
+        counts = features.leaf_counts.astype(np.float64)
+        masked = features.x * features.mask[:, :, None]
+        mean_pool = masked.sum(axis=1) / np.maximum(counts, 1.0)[:, None]
+        max_pool = masked.max(axis=1)
+        return np.concatenate(
+            [mean_pool, max_pool, np.log1p(counts)[:, None], features.device_features],
+            axis=-1,
+        )
+
+    @property
+    def rep_dim(self) -> int:
+        """Width of the student's input representation."""
+        return 2 * self.feature_dim + 1 + self.device_feature_dim
+
+    # -- inference -------------------------------------------------------
+    def predict(self, features: FeatureSet, dtype=None) -> np.ndarray:
+        """Predicted latency in seconds per sample (autograd-free)."""
+        if len(features) == 0:
+            return np.zeros(0, dtype=np.float64)
+        rep = (self.represent(features) - self.rep_mean) / self.rep_std
+        if dtype is not None:
+            rep = rep.astype(dtype)
+        log_latency = np.asarray(self.student.infer(rep).reshape(-1), dtype=np.float64)
+        # Clip before exp: a wild extrapolation must not overflow to inf.
+        return np.maximum(np.exp(np.clip(log_latency, -60.0, 60.0)), 1e-12)
+
+
+def distill(
+    teacher,
+    features: FeatureSet,
+    hidden: Sequence[int] = (128, 128),
+    epochs: int = 200,
+    batch_size: int = 256,
+    learning_rate: float = 3e-3,
+    weight_decay: float = 1e-5,
+    seed: int = 0,
+) -> Tuple[DistilledModel, Dict[str, float]]:
+    """Train a fast-tier student on ``teacher`` outputs over ``features``.
+
+    ``teacher`` is a fitted :class:`repro.core.trainer.Trainer`.  Returns the
+    :class:`DistilledModel` and a stats dict (wall time, final loss, agreement
+    MAPE between student and teacher on the distillation set).
+    """
+    if not getattr(teacher, "_fitted", False):
+        raise TrainingError("distill() needs a fitted teacher (call fit() first)")
+    if len(features) == 0:
+        raise TrainingError("distill() needs a non-empty feature set")
+
+    start = time.perf_counter()
+    targets = np.log(teacher.predict(features))  # seconds -> log space
+    rep = DistilledModel.represent(features)
+    rep_mean = rep.mean(axis=0)
+    rep_std = rep.std(axis=0)
+    rep_std = np.where(rep_std < 1e-8, 1.0, rep_std)
+    rep = (rep - rep_mean) / rep_std
+
+    rng = new_rng(("distill", seed))
+    student = MLP(rep.shape[1], list(hidden), 1, activation="relu", rng=rng)
+    optimizer = Adam(student.parameters(), lr=learning_rate, weight_decay=weight_decay)
+
+    last_loss = float("inf")
+    for _ in range(epochs):
+        order = rng.permutation(len(features))
+        epoch_losses = []
+        for begin in range(0, len(order), batch_size):
+            batch = order[begin : begin + batch_size]
+            optimizer.zero_grad()
+            pred = student(Tensor(rep[batch])).reshape(-1)
+            loss = mse_loss(pred, Tensor(targets[batch]))
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(float(loss.item()))
+        last_loss = float(np.mean(epoch_losses))
+
+    student.eval()
+    model = DistilledModel(
+        student=student,
+        rep_mean=rep_mean,
+        rep_std=rep_std,
+        max_leaves=features.max_leaves,
+        feature_dim=features.feature_dim,
+        device_feature_dim=features.device_features.shape[1],
+        teacher_lineage={
+            "backend": "cdmpp",
+            "fingerprint": teacher_fingerprint(teacher),
+            "max_leaves": int(teacher.max_leaves),
+        },
+    )
+    teacher_pred = np.exp(targets)
+    student_pred = model.predict(features)
+    agreement = float(
+        np.mean(np.abs(student_pred - teacher_pred) / np.maximum(teacher_pred, 1e-12))
+    )
+    stats = {
+        "distill_seconds": time.perf_counter() - start,
+        "final_loss": last_loss,
+        "teacher_agreement_mape": agreement,
+        "epochs": float(epochs),
+    }
+    return model, stats

@@ -25,7 +25,7 @@ from repro.features.pipeline import FeatureSet
 from repro.nn.layers import Linear
 from repro.nn.mlp import MLP
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor, concatenate, no_grad
+from repro.nn.tensor import Tensor, concatenate
 from repro.nn.transformer import TransformerEncoder
 from repro.utils.rng import new_rng
 
@@ -125,6 +125,46 @@ class CDMPPPredictor(Module):
             return concatenate([z_x, z_v], axis=-1)
         return z_x
 
+    def infer_encode(
+        self,
+        x: np.ndarray,
+        mask: np.ndarray,
+        leaf_counts: np.ndarray,
+        device_features: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Autograd-free :meth:`encode` over raw ndarrays (same math, no graph)."""
+        if x.ndim != 3:
+            raise ModelError(f"expected [batch, leaves, features] input, got shape {x.shape}")
+
+        hidden = self.input_proj.infer(x)
+        hidden = self.encoder.infer(hidden, mask=mask)
+
+        groups = self._leaf_groups(np.asarray(leaf_counts))
+        outputs: List[np.ndarray] = []
+        orders: List[np.ndarray] = []
+        for count, indices in sorted(groups.items()):
+            if count <= 0:
+                raise FeatureError("encountered a sample with zero leaves")
+            if count > self.config.max_leaves:
+                raise FeatureError(
+                    f"Compact AST has {count} leaves but the predictor supports at most "
+                    f"{self.config.max_leaves}; increase PredictorConfig.max_leaves"
+                )
+            sub = hidden[indices][:, :count, :]
+            flat = sub.reshape(len(indices), count * self.config.d_model)
+            outputs.append(self.leaf_embeddings[count - 1].infer(flat))
+            orders.append(indices)
+        stacked = np.concatenate(outputs, axis=0)
+        permutation = np.argsort(np.concatenate(orders))
+        z_x = stacked[permutation]
+
+        if self.device_mlp is not None:
+            if device_features is None:
+                raise ModelError("predictor configured with device features but none were given")
+            z_v = self.device_mlp.infer(device_features)
+            return np.concatenate([z_x, z_v], axis=-1)
+        return z_x
+
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
@@ -138,6 +178,17 @@ class CDMPPPredictor(Module):
         """Predict the (transformed) latency of each sample; shape ``[batch]``."""
         latent = self.encode(x, mask, leaf_counts, device_features)
         return self.decoder(latent).reshape(-1)
+
+    def infer(
+        self,
+        x: np.ndarray,
+        mask: np.ndarray,
+        leaf_counts: np.ndarray,
+        device_features: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Autograd-free :meth:`forward`; bit-identical to it for float64 inputs."""
+        latent = self.infer_encode(x, mask, leaf_counts, device_features)
+        return self.decoder.infer(latent).reshape(-1)
 
     # ------------------------------------------------------------------
     # FeatureSet conveniences
@@ -163,26 +214,42 @@ class CDMPPPredictor(Module):
             return self.config.embedding_dim + self.config.device_embedding_dim
         return self.config.embedding_dim
 
-    def predict_transformed(self, features: FeatureSet, batch_size: int = 256) -> np.ndarray:
-        """Predict in the transformed label space, batching to bound memory."""
+    def predict_transformed(
+        self, features: FeatureSet, batch_size: int = 256, dtype=None
+    ) -> np.ndarray:
+        """Predict in the transformed label space, batching to bound memory.
+
+        Runs the autograd-free :meth:`infer` path (no ``Tensor`` graph, no
+        ``FeatureSet.subset`` copies) — bit-identical to the old
+        forward-under-``no_grad`` for the default float64; ``dtype=np.float32``
+        trades the last digits for speed.
+        """
         if len(features) == 0:
             return np.zeros(0, dtype=np.float64)
         outputs = []
-        with no_grad():
-            for start in range(0, len(features), batch_size):
-                indices = np.arange(start, min(start + batch_size, len(features)))
-                x, mask, counts, dev = self.tensors_from(features, indices)
-                outputs.append(self.forward(x, mask, counts, dev).numpy())
+        for start in range(0, len(features), batch_size):
+            stop = min(start + batch_size, len(features))
+            x = features.x[start:stop]
+            mask = features.mask[start:stop]
+            dev = features.device_features[start:stop]
+            if dtype is not None:
+                x, mask, dev = x.astype(dtype), mask.astype(dtype), dev.astype(dtype)
+            outputs.append(self.infer(x, mask, features.leaf_counts[start:stop], dev))
         return np.concatenate(outputs, axis=0)
 
-    def encode_features(self, features: FeatureSet, batch_size: int = 256) -> np.ndarray:
+    def encode_features(
+        self, features: FeatureSet, batch_size: int = 256, dtype=None
+    ) -> np.ndarray:
         """Latent representations of all samples (for CMD analysis / sampling)."""
         if len(features) == 0:
             return np.zeros((0, self.latent_dim), dtype=np.float64)
         outputs = []
-        with no_grad():
-            for start in range(0, len(features), batch_size):
-                indices = np.arange(start, min(start + batch_size, len(features)))
-                x, mask, counts, dev = self.tensors_from(features, indices)
-                outputs.append(self.encode(x, mask, counts, dev).numpy())
+        for start in range(0, len(features), batch_size):
+            stop = min(start + batch_size, len(features))
+            x = features.x[start:stop]
+            mask = features.mask[start:stop]
+            dev = features.device_features[start:stop]
+            if dtype is not None:
+                x, mask, dev = x.astype(dtype), mask.astype(dtype), dev.astype(dtype)
+            outputs.append(self.infer_encode(x, mask, features.leaf_counts[start:stop], dev))
         return np.concatenate(outputs, axis=0)

@@ -246,31 +246,43 @@ class Trainer:
         """Padded Compact-AST width the predictor was built for."""
         return self.predictor.config.max_leaves
 
-    def predict(self, features: FeatureSet, batch_size: Optional[int] = None) -> np.ndarray:
-        """Predict latencies in seconds.
+    def predict(
+        self, features: FeatureSet, batch_size: Optional[int] = None, dtype=None
+    ) -> np.ndarray:
+        """Predict latencies in seconds through the autograd-free infer path.
 
         ``batch_size`` optionally micro-batches the forward pass so very large
         query batches (the serving path) run in bounded memory; the result is
         identical to the single-shot call because the predictor has no
-        cross-sample interactions.
+        cross-sample interactions.  ``dtype=np.float32`` runs the predictor in
+        single precision (the default float64 stays bit-identical to the
+        autograd forward).
         """
         if not self._fitted:
             raise TrainingError("Trainer.predict called before fit()")
+        if batch_size is not None and batch_size <= 0:
+            raise TrainingError(f"predict batch_size must be positive, got {batch_size}")
         self.predictor.eval()
         normalized = self._normalize(features)
-        if batch_size is None or len(features) <= batch_size:
-            transformed = self.predictor.predict_transformed(normalized)
-        else:
-            if batch_size <= 0:
-                raise TrainingError(f"predict batch_size must be positive, got {batch_size}")
-            chunks = [
-                self.predictor.predict_transformed(
-                    normalized.subset(range(start, min(start + batch_size, len(features))))
-                )
-                for start in range(0, len(features), batch_size)
-            ]
-            transformed = np.concatenate(chunks)
-        return np.maximum(self.transform.inverse_transform(transformed), 1e-12)
+        transformed = self.predictor.predict_transformed(
+            normalized, batch_size=min(batch_size or 256, 256), dtype=dtype
+        )
+        return np.maximum(
+            self.transform.inverse_transform(np.asarray(transformed, dtype=np.float64)), 1e-12
+        )
+
+    def distill(self, features: FeatureSet, **kwargs):
+        """Distill this fitted teacher into a fast-tier student MLP.
+
+        Trains a small student on *this trainer's* predictions over
+        ``features`` (normally the training FeatureSet) and returns
+        ``(DistilledModel, stats)``; see :func:`repro.core.distill.distill`
+        for the keyword options.  The student backs the serving stack's
+        ``fast`` tier.
+        """
+        from repro.core.distill import distill as _distill
+
+        return _distill(self, features, **kwargs)
 
     def evaluate(self, features: FeatureSet) -> Dict[str, float]:
         """MAPE/RMSE/threshold-accuracy of predictions in the original space."""

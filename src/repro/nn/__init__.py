@@ -11,7 +11,14 @@ exactly what the CDMPP predictor and the learned baselines need:
   Cosine).
 """
 
-from repro.nn.tensor import Tensor, concatenate, no_grad, stack
+from repro.nn.tensor import (
+    Tensor,
+    clear_scratch_buffers,
+    concatenate,
+    no_grad,
+    scratch_buffer,
+    stack,
+)
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.layers import Dropout, GELU, LayerNorm, Linear, ReLU, Tanh
 from repro.nn.mlp import MLP
@@ -27,6 +34,8 @@ __all__ = [
     "no_grad",
     "concatenate",
     "stack",
+    "scratch_buffer",
+    "clear_scratch_buffers",
     "Module",
     "Parameter",
     "Sequential",

@@ -55,3 +55,25 @@ class MultiHeadSelfAttention(Module):
         context = weights @ value  # [B, H, S, Hd]
         context = context.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
         return self.out(context)
+
+    def infer(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Autograd-free forward mirroring :meth:`forward` op for op."""
+        batch, seq, dim = x.shape
+        qkv = self.qkv.infer(x)
+        qkv = qkv.reshape(batch, seq, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)
+        query, key, value = qkv[0], qkv[1], qkv[2]
+
+        # dtype.type keeps float32 inputs in single precision.
+        scale = x.dtype.type(1.0 / np.sqrt(self.head_dim))
+        scores = (query @ key.transpose(0, 1, 3, 2)) * scale
+        if mask is not None:
+            bias = (1.0 - mask.reshape(batch, 1, 1, seq)) * (-1e9)
+            scores = scores + bias
+        # Numerically stable softmax, same shift/exp/divide as Tensor.softmax.
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        weights = np.exp(shifted)
+        weights /= weights.sum(axis=-1, keepdims=True)
+        context = weights @ value
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        return self.out.infer(context)

@@ -5,11 +5,17 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from scipy import special as _special
 
 from repro.errors import ModelError
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
+
+
+def _param_as(array: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """A parameter array in the inference dtype (no copy when it matches)."""
+    return array if array.dtype == dtype else array.astype(dtype)
 
 
 class Linear(Module):
@@ -36,6 +42,13 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def infer(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Autograd-free forward; ``out`` may stage the result in a pooled buffer."""
+        result = np.matmul(x, _param_as(self.weight.data, x.dtype), out=out)
+        if self.bias is not None:
+            result += _param_as(self.bias.data, result.dtype)
+        return result
+
     def __repr__(self) -> str:
         return f"Linear({self.in_features} -> {self.out_features})"
 
@@ -57,6 +70,18 @@ class LayerNorm(Module):
         normalised = centered / (variance + self.eps).sqrt()
         return normalised * self.gamma + self.beta
 
+    def infer(self, x: np.ndarray) -> np.ndarray:  # noqa: D102
+        # Tensor.mean is sum * (1/n), not np.mean (which divides); replicate
+        # it so the float64 path stays bit-identical to the autograd forward.
+        inv_count = 1.0 / float(x.shape[-1])
+        mean = x.sum(axis=-1, keepdims=True) * inv_count
+        centered = x - mean
+        variance = (centered * centered).sum(axis=-1, keepdims=True) * inv_count
+        normalised = centered / np.sqrt(variance + self.eps)
+        return normalised * _param_as(self.gamma.data, x.dtype) + _param_as(
+            self.beta.data, x.dtype
+        )
+
 
 class Dropout(Module):
     """Inverted dropout; a no-op in eval mode or with rate 0."""
@@ -76,12 +101,18 @@ class Dropout(Module):
         mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
         return x * Tensor(mask)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:  # noqa: D102
+        return x  # inference is eval-mode by definition: dropout is the identity
+
 
 class ReLU(Module):
     """Rectified linear unit."""
 
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102
         return x.relu()
+
+    def infer(self, x: np.ndarray) -> np.ndarray:  # noqa: D102
+        return x * (x > 0).astype(x.dtype)
 
 
 class GELU(Module):
@@ -90,6 +121,12 @@ class GELU(Module):
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102
         return x.gelu()
 
+    def infer(self, x: np.ndarray) -> np.ndarray:  # noqa: D102
+        # dtype.type keeps float32 inputs in single precision (a bare
+        # np.sqrt(2.0) scalar would promote the whole expression to float64).
+        cdf = 0.5 * (1.0 + _special.erf(x / x.dtype.type(np.sqrt(2.0))))
+        return x * cdf
+
 
 class Tanh(Module):
     """Hyperbolic tangent activation."""
@@ -97,12 +134,18 @@ class Tanh(Module):
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102
         return x.tanh()
 
+    def infer(self, x: np.ndarray) -> np.ndarray:  # noqa: D102
+        return np.tanh(x)
+
 
 class Sigmoid(Module):
     """Logistic sigmoid activation."""
 
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102
         return x.sigmoid()
+
+    def infer(self, x: np.ndarray) -> np.ndarray:  # noqa: D102
+        return 1.0 / (1.0 + np.exp(-x))
 
 
 ACTIVATIONS = {

@@ -42,6 +42,22 @@ class LSTMCell(Module):
         new_hidden = output_gate * new_cell.tanh()
         return new_hidden, new_cell
 
+    def infer(
+        self, x: np.ndarray, state: Tuple[np.ndarray, np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Autograd-free cell step mirroring :meth:`forward` op for op."""
+        hidden, cell = state
+        combined = np.concatenate([x, hidden], axis=-1)
+        gates = self.gates.infer(combined)
+        h = self.hidden_size
+        input_gate = 1.0 / (1.0 + np.exp(-gates[:, :h]))
+        forget_gate = 1.0 / (1.0 + np.exp(-gates[:, h : 2 * h]))
+        cell_candidate = np.tanh(gates[:, 2 * h : 3 * h])
+        output_gate = 1.0 / (1.0 + np.exp(-gates[:, 3 * h :]))
+        new_cell = forget_gate * cell + input_gate * cell_candidate
+        new_hidden = output_gate * np.tanh(new_cell)
+        return new_hidden, new_cell
+
 
 class LSTM(Module):
     """A (single-layer) LSTM unrolled over a sequence of inputs.
@@ -69,4 +85,20 @@ class LSTM(Module):
         hidden, cell = state
         for step in inputs:
             hidden, cell = self.cell(step, (hidden, cell))
+        return hidden, (hidden, cell)
+
+    def infer(
+        self,
+        inputs: Sequence[np.ndarray],
+        state: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
+        """Autograd-free unroll mirroring :meth:`forward`."""
+        if len(inputs) == 0:
+            raise ModelError("LSTM.infer needs at least one input step")
+        if state is None:
+            zeros = np.zeros((inputs[0].shape[0], self.hidden_size), dtype=inputs[0].dtype)
+            state = (zeros, zeros.copy())
+        hidden, cell = state
+        for step in inputs:
+            hidden, cell = self.cell.infer(step, (hidden, cell))
         return hidden, (hidden, cell)

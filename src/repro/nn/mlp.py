@@ -9,7 +9,7 @@ import numpy as np
 from repro.errors import ModelError
 from repro.nn.layers import Dropout, Linear, make_activation
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, scratch_buffer
 
 
 class MLP(Module):
@@ -46,6 +46,21 @@ class MLP(Module):
             if index < len(self.layers) - 1:
                 x = self.activations[index](x)
                 x = self.dropouts[index](x)
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Autograd-free forward; hidden activations stage in pooled buffers."""
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            if index < last:
+                # The activation allocates the array that flows on, so the
+                # matmul result itself can live in a per-layer scratch buffer.
+                out = scratch_buffer(
+                    ("mlp", id(self), index), x.shape[:-1] + (layer.out_features,), x.dtype
+                )
+                x = self.activations[index].infer(layer.infer(x, out=out))
+            else:
+                x = layer.infer(x)
         return x
 
     def __repr__(self) -> str:

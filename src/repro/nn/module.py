@@ -114,6 +114,18 @@ class Module:
         """Compute the module output; subclasses must override."""
         raise NotImplementedError
 
+    def infer(self, *args, **kwargs):
+        """Autograd-free forward over raw ndarrays (the inference fast path).
+
+        Subclasses override this alongside :meth:`forward`.  The contract is
+        eval-mode semantics (dropout is the identity) and, for float64
+        inputs, bit-identical outputs to the autograd forward; float32 inputs
+        run the same computation in single precision.  No ``Tensor`` graph or
+        backward closures are built, and implementations may stage
+        intermediates in pooled scratch buffers.
+        """
+        raise NotImplementedError
+
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
 
@@ -128,6 +140,11 @@ class Sequential(Module):
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102 - trivial
         for layer in self.layers:
             x = layer(x)
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:  # noqa: D102 - trivial
+        for layer in self.layers:
+            x = layer.infer(x)
         return x
 
     def __len__(self) -> int:

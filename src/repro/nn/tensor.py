@@ -45,6 +45,39 @@ def no_grad():
         _GRAD_STATE.enabled = previous
 
 
+# Scratch buffers for the inference fast path (``Module.infer``).  The pool
+# is thread-local: concurrent serving threads each reuse their own arrays, so
+# no lock is needed and a pooled buffer is never visible to another thread.
+_SCRATCH_STATE = threading.local()
+
+
+def scratch_buffer(tag: object, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+    """A pooled ndarray for inference intermediates, keyed by ``tag``.
+
+    The same tag returns the same preallocated array while shape and dtype
+    stay stable (the steady state of warm batched predict); a mismatch
+    reallocates.  Callers must fully overwrite the buffer (its contents are
+    whatever the previous use left behind) and must not hand it out as a
+    result that outlives the next ``infer`` call with the same tag.
+    """
+    pool = getattr(_SCRATCH_STATE, "pool", None)
+    if pool is None:
+        pool = {}
+        _SCRATCH_STATE.pool = pool
+    dtype = np.dtype(dtype)
+    shape = tuple(int(extent) for extent in shape)
+    buffer = pool.get(tag)
+    if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+        buffer = np.empty(shape, dtype=dtype)
+        pool[tag] = buffer
+    return buffer
+
+
+def clear_scratch_buffers() -> None:
+    """Drop this thread's pooled inference buffers (frees their memory)."""
+    _SCRATCH_STATE.pool = {}
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` over the dimensions that were broadcast to reach ``grad.shape``."""
     if grad.shape == shape:
@@ -72,7 +105,13 @@ class Tensor:
         _prev: Tuple["Tensor", ...] = (),
         name: str = "",
     ):
-        self.data = np.asarray(data, dtype=np.float64)
+        # An already-float64 ndarray is adopted as-is: ``np.asarray`` with an
+        # explicit dtype copies even when the input already matches, which
+        # taxed every op (``_coerce``/``_make`` both construct through here).
+        if isinstance(data, np.ndarray) and data.dtype == np.float64:
+            self.data = data
+        else:
+            self.data = np.asarray(data, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None

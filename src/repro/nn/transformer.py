@@ -10,7 +10,7 @@ from repro.errors import ModelError
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.layers import Dropout, GELU, LayerNorm, Linear
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, scratch_buffer
 
 
 class TransformerEncoderLayer(Module):
@@ -39,6 +39,19 @@ class TransformerEncoderLayer(Module):
         x = x + self.dropout(self.ffn_out(self.ffn_act(self.ffn_in(self.norm2(x)))))
         return x
 
+    def infer(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Autograd-free forward (dropout is the identity in inference)."""
+        x = x + self.attention.infer(self.norm1.infer(x), mask=mask)
+        # The FFN hidden state is the widest intermediate; stage it in a
+        # pooled scratch buffer (GELU allocates the array that flows on).
+        hidden = self.ffn_in.infer(
+            self.norm2.infer(x),
+            out=scratch_buffer(
+                ("ffn", id(self)), x.shape[:-1] + (self.ffn_out.in_features,), x.dtype
+            ),
+        )
+        return x + self.ffn_out.infer(self.ffn_act.infer(hidden))
+
 
 class TransformerEncoder(Module):
     """A stack of Transformer encoder layers with a final layer norm."""
@@ -65,3 +78,8 @@ class TransformerEncoder(Module):
         for layer in self.layers:
             x = layer(x, mask=mask)
         return self.final_norm(x)
+
+    def infer(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:  # noqa: D102
+        for layer in self.layers:
+            x = layer.infer(x, mask=mask)
+        return self.final_norm.infer(x)

@@ -30,9 +30,17 @@ from repro.serving.protocol import PROTOCOL_VERSION, MessageStream, ProtocolErro
 from repro.serving.registry import ModelRegistry, default_registry_root
 from repro.serving.search import ModelTuning, SearchService, SearchServiceStats
 from repro.serving.search_cache import SearchCache, SearchCacheStats
-from repro.serving.service import PendingPrediction, PredictionService, ServingStats
+from repro.serving.service import (
+    DEFAULT_TIER,
+    TIERS,
+    PendingPrediction,
+    PredictionService,
+    ServingStats,
+    validate_tier,
+)
 
 __all__ = [
+    "DEFAULT_TIER",
     "DaemonClient",
     "DaemonConfig",
     "DaemonRequestError",
@@ -55,7 +63,9 @@ __all__ = [
     "SearchServiceStats",
     "ServingDaemon",
     "ServingStats",
+    "TIERS",
     "default_registry_root",
     "program_cache_key",
     "schedule_fingerprint",
+    "validate_tier",
 ]

@@ -95,11 +95,14 @@ class DaemonClient:
         deadline_ms: Optional[float] = None,
         seed: Optional[int] = None,
         compose: Optional[str] = None,
+        tier: Optional[str] = None,
     ) -> Dict[str, Any]:
         """End-to-end latency of ``network`` on ``device``.
 
         Returns the response payload: ``latency_s``, ``serial_latency_s``,
         ``per_kernel_latency_s``, ``num_nodes``, ``num_unique_kernels``.
+        ``tier`` selects ``"accurate"`` (the full model) or ``"fast"`` (the
+        device's distilled student); None uses the daemon's default.
         """
         request: Dict[str, Any] = {
             "op": "query",
@@ -113,6 +116,8 @@ class DaemonClient:
             request["seed"] = seed
         if compose is not None:
             request["compose"] = compose
+        if tier is not None:
+            request["tier"] = tier
         return self._call(request)
 
     def predict_model(
@@ -123,6 +128,7 @@ class DaemonClient:
         deadline_ms: Optional[float] = None,
         seed: Optional[int] = None,
         compose: Optional[str] = None,
+        tier: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
         """Rank ``network`` across ``devices`` (default: all served devices).
 
@@ -137,6 +143,7 @@ class DaemonClient:
             deadline_ms=deadline_ms,
             seed=seed,
             compose=compose,
+            tier=tier,
         )["results"]
 
     def predict_model_raw(
@@ -147,6 +154,7 @@ class DaemonClient:
         deadline_ms: Optional[float] = None,
         seed: Optional[int] = None,
         compose: Optional[str] = None,
+        tier: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Like :meth:`predict_model` but returns the full response payload."""
         request: Dict[str, Any] = {
@@ -162,6 +170,8 @@ class DaemonClient:
             request["seed"] = seed
         if compose is not None:
             request["compose"] = compose
+        if tier is not None:
+            request["tier"] = tier
         return self._call(request)
 
     def tune(

@@ -61,7 +61,7 @@ from repro.serving.protocol import (
     error_payload,
     ok_payload,
 )
-from repro.serving.service import ModelLike
+from repro.serving.service import DEFAULT_TIER, ModelLike, validate_tier
 from repro.version import __version__
 
 import socket
@@ -96,6 +96,9 @@ class DaemonConfig:
     #: Defaults a request may override per call.
     seed: int = 0
     compose: str = "replay"
+    #: Tier answering requests that do not carry a ``tier`` field:
+    #: ``accurate`` (the full model) or ``fast`` (the distilled student).
+    tier: str = DEFAULT_TIER
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -108,6 +111,7 @@ class DaemonConfig:
             raise ServingError(
                 f"unknown composition mode {self.compose!r}; expected one of {COMPOSE_MODES}"
             )
+        self.tier = validate_tier(self.tier)
 
 
 @dataclass
@@ -128,6 +132,8 @@ class DaemonStats:
     rejected_shutting_down: int = 0
     bad_requests: int = 0
     internal_errors: int = 0
+    fast_tier_requests: int = 0
+    accurate_tier_requests: int = 0
 
 
 class _Fanout:
@@ -146,6 +152,7 @@ class _Fanout:
         network: str,
         batch_size: int,
         expected: int,
+        tier: str = DEFAULT_TIER,
     ):
         self._daemon = daemon
         self._stream = stream
@@ -153,6 +160,7 @@ class _Fanout:
         self._op = op
         self._network = network
         self._batch_size = batch_size
+        self._tier = tier
         self._lock = threading.Lock()
         self._remaining = expected  # guarded-by: _lock
         self._results: List[Any] = []  # guarded-by: _lock
@@ -196,6 +204,7 @@ class _Fanout:
             op=self._op,
             network=self._network,
             batch_size=self._batch_size,
+            tier=self._tier,
             results=self._result_fields(),
             errors=self._errors,
         )
@@ -226,6 +235,7 @@ class _WorkItem:
         "batch_size",
         "seed",
         "compose",
+        "tier",
         "deadline",
         "enqueued_at",
         "collector",
@@ -245,6 +255,7 @@ class _WorkItem:
         deadline: Optional[float],
         collector: Optional[_Fanout] = None,
         params: Optional[Dict[str, Any]] = None,
+        tier: str = DEFAULT_TIER,
     ):
         self.op = op
         self.request_id = request_id
@@ -254,6 +265,7 @@ class _WorkItem:
         self.batch_size = batch_size
         self.seed = seed
         self.compose = compose
+        self.tier = tier
         self.deadline = deadline  # absolute time.monotonic() instant, or None
         self.enqueued_at = time.monotonic()
         self.collector = collector
@@ -269,6 +281,7 @@ class _ShardWorker(threading.Thread):
         spec: DeviceSpec,
         model: ModelLike,
         model_name: Optional[str] = None,
+        fast_model: Optional[ModelLike] = None,
     ):
         super().__init__(name=f"cdmpp-shard-{spec.name}", daemon=True)
         self.daemon_ref = daemon
@@ -278,6 +291,7 @@ class _ShardWorker(threading.Thread):
             {spec.name: model},
             max_batch_size=max(512, daemon.config.max_batch_size * 64),
             gap_s=daemon.gap_s,
+            fast_models={spec.name: fast_model} if fast_model is not None else None,
         )
         self._search: Optional["SearchService"] = None
         self._cond = threading.Condition()
@@ -302,6 +316,11 @@ class _ShardWorker(threading.Thread):
                 self.fleet, registry=self.daemon_ref.registry, model_names=names
             )
         return self._search
+
+    @property
+    def has_fast_tier(self) -> bool:
+        """Whether this shard can answer ``tier="fast"`` requests."""
+        return bool(self.fleet.fast_devices)
 
     # -- queue side (called from connection reader threads) -------------
     @property
@@ -423,17 +442,18 @@ class _ShardWorker(threading.Thread):
                 continue
             self.daemon_ref._complete_tune(item, tuning)
 
-        # One predict_model_batch per (seed, compose) group: all kernel
+        # One predict_model_batch per (seed, compose, tier) group: all kernel
         # queries of the group are answered by a single batched flush.
         groups: Dict[tuple, List[_WorkItem]] = {}
         for item in batch:
-            groups.setdefault((repr(item.seed), item.compose), []).append(item)
+            groups.setdefault((repr(item.seed), item.compose, item.tier), []).append(item)
         for items in groups.values():
             try:
                 predictions = self.fleet.predict_model_batch(
                     [(item.network, self.spec, item.batch_size) for item in items],
                     seed=items[0].seed,
                     compose=items[0].compose,
+                    tier=items[0].tier,
                 )
             except ReproError as error:
                 for item in items:
@@ -475,6 +495,7 @@ class ServingDaemon:
         gap_s: float = 2e-6,
         registry=None,
         model_names: Optional[Mapping[str, str]] = None,
+        fast_models: Optional[Mapping[str, ModelLike]] = None,
     ):
         self.config = config or DaemonConfig()
         self.gap_s = float(gap_s)
@@ -492,11 +513,25 @@ class ServingDaemon:
             raise ServingError("pass either a {device: model} mapping or devices=, not both")
         if not models:
             raise ServingError("ServingDaemon needs at least one device")
+        # Optional per-device distilled students backing the fast tier;
+        # devices without one refuse tier="fast" requests.
+        fast_models = {
+            get_device(name).name: model for name, model in (fast_models or {}).items()
+        }
+        for name in fast_models:
+            if name not in {get_device(d).name for d in models}:
+                raise ServingError(
+                    f"fast model given for device {name!r}, which this daemon does not serve"
+                )
         self._shards: Dict[str, _ShardWorker] = {}
         for name, model in models.items():
             spec = get_device(name)
             self._shards[spec.name] = _ShardWorker(
-                self, spec, model, model_name=model_names.get(spec.name)
+                self,
+                spec,
+                model,
+                model_name=model_names.get(spec.name),
+                fast_model=fast_models.get(spec.name),
             )
         self._stats_lock = threading.Lock()
         self.stats = DaemonStats()  # guarded-by: _stats_lock
@@ -524,15 +559,22 @@ class ServingDaemon:
         names: Union[str, Mapping[str, str]],
         devices: Optional[Sequence[str]] = None,
         config: Optional[DaemonConfig] = None,
+        fast_names: Optional[Mapping[str, str]] = None,
         **kwargs,
     ) -> "ServingDaemon":
         """Build a daemon from registry checkpoints (mirrors FleetService).
 
         ``names`` is a ``{device: checkpoint}`` mapping, or one checkpoint
         name combined with ``devices``; same-checkpoint devices share one
-        in-memory model via ``ModelRegistry.load_shared``.
+        in-memory model via ``ModelRegistry.load_shared``.  ``fast_names``
+        optionally maps devices to distilled checkpoints backing the fast
+        tier.
         """
         load = getattr(registry, "load_shared", registry.load)
+        if fast_names:
+            kwargs["fast_models"] = {
+                get_device(device).name: load(name) for device, name in fast_names.items()
+            }
         if isinstance(names, Mapping):
             if devices is not None:
                 raise ServingError("pass either a {device: name} mapping or devices=, not both")
@@ -604,6 +646,11 @@ class ServingDaemon:
     def devices(self) -> List[str]:
         """Sorted device names this daemon serves."""
         return sorted(self._shards)
+
+    @property
+    def fast_devices(self) -> List[str]:
+        """Sorted device names with a fast-tier (distilled) model."""
+        return sorted(name for name, shard in self._shards.items() if shard.has_fast_tier)
 
     def install_signal_handlers(self) -> None:
         """Route SIGTERM/SIGINT to a graceful drain (main thread only)."""
@@ -734,8 +781,15 @@ class ServingDaemon:
             )
             return
         try:
-            network, batch_size, seed, compose, deadline = self._parse_query_common(message)
+            network, batch_size, seed, compose, tier, deadline = self._parse_query_common(
+                message
+            )
             params = self._parse_tune_params(message) if op == "tune" else None
+            if op == "tune" and tier != "accurate":
+                raise ServingError(
+                    "tune requests are accurate-tier only (a search guided by the "
+                    "distilled student would tune toward its approximation error)"
+                )
             if op == "query":
                 specs = [self._served_device(message.get("device"))]
             else:
@@ -751,6 +805,15 @@ class ServingDaemon:
                         if spec.name not in seen:
                             seen.add(spec.name)
                             specs.append(spec)
+            if tier == "fast":
+                unservable = [s.name for s in specs if not self._shards[s.name].has_fast_tier]
+                if unservable:
+                    raise ServingError(
+                        f"no fast-tier model for device(s) {', '.join(unservable)} "
+                        f"(fast devices: {', '.join(self.fast_devices) or 'none'}); "
+                        "start the daemon with distilled checkpoints or query "
+                        "tier='accurate'"
+                    )
         except (ReproError, KeyError, TypeError, ValueError) as error:
             with self._stats_lock:
                 self.stats.bad_requests += 1
@@ -764,7 +827,9 @@ class ServingDaemon:
             else:
                 admitted = True
                 collector = (
-                    _Fanout(self, stream, request_id, op, network, batch_size, len(specs))
+                    _Fanout(
+                        self, stream, request_id, op, network, batch_size, len(specs), tier
+                    )
                     if op in ("predict-model", "tune")
                     else None
                 )
@@ -781,6 +846,7 @@ class ServingDaemon:
                         deadline,
                         collector,
                         params=params,
+                        tier=tier,
                     )
                     self._shards[spec.name].enqueue(item)
         if not admitted:
@@ -803,6 +869,10 @@ class ServingDaemon:
                 self.stats.tune_queries += 1
             else:
                 self.stats.model_queries += 1
+            if tier == "fast":
+                self.stats.fast_tier_requests += 1
+            else:
+                self.stats.accurate_tier_requests += 1
 
     def _parse_query_common(self, message: Dict[str, Any]):
         network = resolve_model_name(str(message["network"]))
@@ -815,11 +885,12 @@ class ServingDaemon:
             raise ServingError(
                 f"unknown composition mode {compose!r}; expected one of {COMPOSE_MODES}"
             )
+        tier = validate_tier(message.get("tier", self.config.tier))
         deadline_ms = message.get("deadline_ms", self.config.default_deadline_ms)
         deadline = None
         if deadline_ms is not None:
             deadline = time.monotonic() + float(deadline_ms) / 1000.0
-        return network, batch_size, seed, compose, deadline
+        return network, batch_size, seed, compose, tier, deadline
 
     def _parse_tune_params(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Search-budget fields of a ``tune`` request (omitted = defaults)."""
@@ -865,6 +936,7 @@ class ServingDaemon:
                 item.request_id,
                 op="query",
                 batch_size=item.batch_size,
+                tier=item.tier,
                 **_prediction_fields(prediction),
             ),
         )
@@ -918,6 +990,7 @@ class ServingDaemon:
             protocol=PROTOCOL_VERSION,
             version=__version__,
             devices=self.devices,
+            fast_devices=self.fast_devices,
             pending=self.pending,
             uptime_s=self._uptime_s(),
         )
@@ -939,6 +1012,8 @@ class ServingDaemon:
                 "rejected_shutting_down": self.stats.rejected_shutting_down,
                 "bad_requests": self.stats.bad_requests,
                 "internal_errors": self.stats.internal_errors,
+                "fast_tier_requests": self.stats.fast_tier_requests,
+                "accurate_tier_requests": self.stats.accurate_tier_requests,
             }
         daemon["pending"] = self.pending
         daemon["uptime_s"] = self._uptime_s()

@@ -49,7 +49,13 @@ from repro.graph.partition import partition_into_programs
 from repro.graph.zoo import build_model, resolve_model_name
 from repro.replay.e2e import COMPOSE_MODES, compose_latencies
 from repro.serving.cache import DeviceShardedCache, LRUCache
-from repro.serving.service import DEFAULT_DEVICE, ModelLike, PredictionService
+from repro.serving.service import (
+    DEFAULT_DEVICE,
+    DEFAULT_TIER,
+    ModelLike,
+    PredictionService,
+    validate_tier,
+)
 from repro.tir.program import TensorProgram
 
 ModelQuery = Union[str, ModelGraph, TIRDataFlowGraph]
@@ -101,6 +107,8 @@ class FleetStats:
     partitions: int = 0
     partition_cache_hits: int = 0
     devices_onboarded: int = 0
+    fast_tier_model_queries: int = 0
+    accurate_tier_model_queries: int = 0
 
 
 class FleetService:
@@ -124,6 +132,7 @@ class FleetService:
         max_batch_size: int = 512,
         predict_chunk_size: Optional[int] = 1024,
         gap_s: float = DEFAULT_GAP_S,
+        fast_models: Optional[Union[ModelLike, Mapping[str, ModelLike]]] = None,
     ):
         self.gap_s = float(gap_s)
         self.feature_cache = LRUCache(feature_cache_size)
@@ -132,12 +141,17 @@ class FleetService:
             # Canonicalize device keys (queries resolve aliases/case through
             # get_device, so 'T4' must register under 't4' to be reachable).
             models = {_canonical_device(name): model for name, model in models.items()}
+        if isinstance(fast_models, Mapping):
+            fast_models = {
+                _canonical_device(name): model for name, model in fast_models.items()
+            }
         self._service = PredictionService(
             models,
             max_batch_size=max_batch_size,
             predict_chunk_size=predict_chunk_size,
             feature_cache=self.feature_cache,
             prediction_cache=self.prediction_cache,
+            fast_models=fast_models,
         )
         self._dfg_cache = LRUCache(64)
         # Guards the fleet-level counters; the heavy lifting (queue, caches)
@@ -185,6 +199,11 @@ class FleetService:
         """Sorted device names served by the fleet (``"*"`` = fallback)."""
         return self._service.devices
 
+    @property
+    def fast_devices(self) -> List[str]:
+        """Sorted device names with a registered fast-tier model."""
+        return self._service.fast_devices
+
     def register_device(self, device: str, model: ModelLike) -> None:
         """Add (or replace) the predictor serving ``device``.
 
@@ -192,6 +211,15 @@ class FleetService:
         device keeps its warm cache.
         """
         self._service.swap_model(_canonical_device(device), model)
+
+    def register_fast_model(self, device: str, model: ModelLike) -> None:
+        """Install (or replace) the fast-tier model serving ``device``.
+
+        ``model`` is normally a :class:`repro.backends.DistilledBackend`
+        student of the accurate model serving the same device; queries with
+        ``tier="fast"`` route to it.
+        """
+        self._service.swap_model(_canonical_device(device), model, tier="fast")
 
     def onboard_device(self, device: str, adapted) -> None:
         """Hot-swap an onboarded device's *adapted* model into the fleet.
@@ -245,7 +273,9 @@ class FleetService:
     # ------------------------------------------------------------------
     # Partitioning
     # ------------------------------------------------------------------
-    def _resolve_targets(self, devices: Optional[Sequence[str]]) -> List[DeviceSpec]:
+    def _resolve_targets(
+        self, devices: Optional[Sequence[str]], tier: str = DEFAULT_TIER
+    ) -> List[DeviceSpec]:
         if devices is None:
             names = [name for name in self.devices if name != DEFAULT_DEVICE]
             if not names:
@@ -263,7 +293,8 @@ class FleetService:
                 seen.add(spec.name)
                 specs.append(spec)
         for spec in specs:
-            backend = self._service.model_for(spec)  # raises ServingError when unservable
+            # raises ServingError when unservable on the requested tier
+            backend = self._service.model_for(spec, tier=tier)
             ensure_model_level(backend, ServingError, device=spec.name)
         return specs
 
@@ -313,15 +344,22 @@ class FleetService:
         batch_size: int = 1,
         seed: Union[int, str, None] = 0,
         compose: str = "replay",
+        tier: str = DEFAULT_TIER,
     ) -> FleetPrediction:
         """End-to-end latency of one model on one device.
 
         Partition → batch → compose for a single device; equivalent to a
-        one-device :meth:`predict_model_fleet`.
+        one-device :meth:`predict_model_fleet`.  ``tier="fast"`` answers the
+        kernel queries from the device's registered distilled student.
         """
         device_name = device if isinstance(device, str) else device.name
         results = self.predict_model_fleet(
-            model, devices=[device_name], batch_size=batch_size, seed=seed, compose=compose
+            model,
+            devices=[device_name],
+            batch_size=batch_size,
+            seed=seed,
+            compose=compose,
+            tier=tier,
         )
         return results[0]
 
@@ -332,6 +370,7 @@ class FleetService:
         batch_size: int = 1,
         seed: Union[int, str, None] = 0,
         compose: str = "replay",
+        tier: str = DEFAULT_TIER,
     ) -> List[FleetPrediction]:
         """End-to-end latency of one model on every requested device, ranked.
 
@@ -345,12 +384,16 @@ class FleetService:
         :class:`ModelGraph` or :class:`TIRDataFlowGraph` is predicted at the
         batch size it was built with.
         """
-        specs = self._resolve_targets(devices)
+        tier = validate_tier(tier)
+        specs = self._resolve_targets(devices, tier=tier)
         with self._stats_lock:
             if len(specs) > 1:
                 self.stats.fanout_queries += 1
         results = self.predict_model_batch(
-            [(model, spec, batch_size) for spec in specs], seed=seed, compose=compose
+            [(model, spec, batch_size) for spec in specs],
+            seed=seed,
+            compose=compose,
+            tier=tier,
         )
         results.sort(key=lambda prediction: prediction.predicted_latency_s)
         return results
@@ -360,6 +403,7 @@ class FleetService:
         queries: Sequence[Tuple[ModelQuery, Union[str, DeviceSpec], int]],
         seed: Union[int, str, None] = 0,
         compose: str = "replay",
+        tier: str = DEFAULT_TIER,
     ) -> List[FleetPrediction]:
         """Answer many heterogeneous model queries with one batched flush.
 
@@ -382,14 +426,19 @@ class FleetService:
             )
         if not queries:
             return []
+        tier = validate_tier(tier)
         resolved: List[Tuple[ModelQuery, DeviceSpec, int]] = []
         for model, device, batch_size in queries:
             spec = device if isinstance(device, DeviceSpec) else get_device(device)
-            backend = self._service.model_for(spec)  # raises when unservable
+            backend = self._service.model_for(spec, tier=tier)  # raises when unservable
             ensure_model_level(backend, ServingError, device=spec.name)
             resolved.append((model, spec, int(batch_size)))
         with self._stats_lock:
             self.stats.model_queries += len(resolved)
+            if tier == "fast":
+                self.stats.fast_tier_model_queries += len(resolved)
+            else:
+                self.stats.accurate_tier_model_queries += len(resolved)
 
         # Partition each distinct (model, batch, taxonomy) once; the DFG cache
         # additionally memoizes zoo names across calls.
@@ -408,7 +457,10 @@ class FleetService:
                 (
                     dfgs[key],
                     spec,
-                    {k: self._service.submit(program, spec) for k, program in unique.items()},
+                    {
+                        k: self._service.submit(program, spec, tier=tier)
+                        for k, program in unique.items()
+                    },
                 )
             )
         self._service.flush()
@@ -442,10 +494,13 @@ class FleetService:
         return results
 
     def predict_programs(
-        self, programs: Sequence[TensorProgram], device: Union[str, DeviceSpec]
+        self,
+        programs: Sequence[TensorProgram],
+        device: Union[str, DeviceSpec],
+        tier: str = DEFAULT_TIER,
     ) -> np.ndarray:
         """Per-kernel latencies through the shared batch-and-cache path."""
-        return self._service.predict(programs, device)
+        return self._service.predict(programs, device, tier=tier)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -459,6 +514,8 @@ class FleetService:
                 "partitions": self.stats.partitions,
                 "partition_cache_hits": self.stats.partition_cache_hits,
                 "devices_onboarded": self.stats.devices_onboarded,
+                "fast_tier_model_queries": self.stats.fast_tier_model_queries,
+                "accurate_tier_model_queries": self.stats.accurate_tier_model_queries,
             }
         counters["kernel_service"] = self._service.describe_stats()
         return counters

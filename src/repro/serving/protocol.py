@@ -13,12 +13,13 @@ Requests
 * ``query`` — end-to-end latency of one network on one device::
 
       {"op": "query", "network": "bert_tiny", "device": "t4",
-       "batch_size": 1, "deadline_ms": 50, "seed": 0}
+       "batch_size": 1, "deadline_ms": 50, "seed": 0, "tier": "accurate"}
 
 * ``predict-model`` — one network ranked across several devices (default:
   every device the daemon serves)::
 
-      {"op": "predict-model", "network": "resnet50", "devices": ["t4", "k80"]}
+      {"op": "predict-model", "network": "resnet50", "devices": ["t4", "k80"],
+       "tier": "fast"}
 
 * ``tune`` — cost-model-guided schedule search for one network on one or
   more devices (default: every device the daemon serves), answered from the
@@ -33,6 +34,13 @@ Requests
 ``id`` is optional and echoed verbatim on the response so clients may
 pipeline requests on one connection; responses are **not** guaranteed to
 come back in request order (different device shards answer independently).
+
+``tier`` (``query``/``predict-model`` only) selects the serving tier:
+``"accurate"`` answers from the full model, ``"fast"`` from the device's
+distilled student — a ``bad_request`` error if the daemon has no fast-tier
+model for the device.  Omitted, it falls back to the daemon's configured
+default (``accurate`` unless started otherwise).  Responses echo the tier
+that answered.  ``tune`` is accurate-tier only.
 
 Responses
 ---------

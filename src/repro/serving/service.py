@@ -51,6 +51,20 @@ ModelLike = Union[CDMPP, Trainer, CostModel, object]
 
 DEFAULT_DEVICE = "*"
 
+#: Serving tiers: ``accurate`` answers from the full model, ``fast`` from a
+#: distilled student registered alongside it.  The tier is part of every
+#: prediction-cache key, so a fast answer can never alias an accurate one.
+TIERS = ("fast", "accurate")
+DEFAULT_TIER = "accurate"
+
+
+def validate_tier(tier: str) -> str:
+    """Normalise and validate a tier name."""
+    name = str(tier).strip().lower()
+    if name not in TIERS:
+        raise ServingError(f"unknown tier {tier!r} (tiers: {', '.join(TIERS)})")
+    return name
+
 
 def _as_serving_model(model: ModelLike) -> CostModel:
     """Adapt ``model`` onto the CostModel protocol, requiring it to be fitted."""
@@ -101,6 +115,7 @@ class _QueueEntry:
     program: TensorProgram
     device: str
     model_id: int
+    tier: str = DEFAULT_TIER
     tickets: List[PendingPrediction] = field(default_factory=list)
 
 
@@ -114,6 +129,8 @@ class ServingStats:
     batches: int = 0
     programs_featurized: int = 0
     predictions_computed: int = 0
+    fast_tier_queries: int = 0
+    accurate_tier_queries: int = 0
 
 
 class PredictionService:
@@ -137,19 +154,14 @@ class PredictionService:
         predict_chunk_size: Optional[int] = 1024,
         feature_cache: Optional[LRUCache] = None,
         prediction_cache=None,
+        fast_models: Optional[Union[ModelLike, Mapping[str, ModelLike]]] = None,
     ):
-        if isinstance(models, Mapping):
-            if not models:
-                raise ServingError("PredictionService needs at least one model")
-            # Devices handing in the same model object share one adapter, so
-            # their queries land in one batch group at flush time.
-            adapters: Dict[int, CostModel] = {}
-            self._models: Dict[str, CostModel] = {  # guarded-by: _lock
-                name: adapters.setdefault(id(model), _as_serving_model(model))
-                for name, model in models.items()
-            }
-        else:
-            self._models = {DEFAULT_DEVICE: _as_serving_model(models)}  # guarded-by: _lock
+        self._models = self._adapt_models(models)  # guarded-by: _lock
+        # The fast tier is optional per device; queries with tier="fast" are
+        # refused (not silently downgraded) for devices without an entry.
+        self._fast_models: Dict[str, CostModel] = (  # guarded-by: _lock
+            self._adapt_models(fast_models) if fast_models is not None else {}
+        )
         if max_batch_size <= 0:
             raise ServingError(f"max_batch_size must be positive, got {max_batch_size}")
         self.max_batch_size = int(max_batch_size)
@@ -173,6 +185,23 @@ class PredictionService:
         # replaced model even when its cache_signature is unchanged.
         self._swap_listeners: List = []  # guarded-by: _lock
         self._queue: "OrderedDict[CacheKey, _QueueEntry]" = OrderedDict()  # guarded-by: _lock
+
+    @staticmethod
+    def _adapt_models(
+        models: Union[ModelLike, Mapping[str, ModelLike]]
+    ) -> Dict[str, CostModel]:
+        """Adapt a model-or-mapping argument onto per-device CostModels."""
+        if isinstance(models, Mapping):
+            if not models:
+                raise ServingError("PredictionService needs at least one model")
+            # Devices handing in the same model object share one adapter, so
+            # their queries land in one batch group at flush time.
+            adapters: Dict[int, CostModel] = {}
+            return {
+                name: adapters.setdefault(id(model), _as_serving_model(model))
+                for name, model in models.items()
+            }
+        return {DEFAULT_DEVICE: _as_serving_model(models)}
 
     # ------------------------------------------------------------------
     # Model management
@@ -199,20 +228,41 @@ class PredictionService:
         with self._lock:
             return sorted(self._models)
 
-    def model_for(self, device: Union[str, DeviceSpec]) -> CostModel:
-        """The model that serves ``device`` (exact entry, else the fallback)."""
-        name = device if isinstance(device, str) else device.name
+    @property
+    def fast_devices(self) -> List[str]:
+        """Sorted device names with a registered fast-tier model."""
         with self._lock:
-            model = self._models.get(name) or self._models.get(DEFAULT_DEVICE)
+            return sorted(self._fast_models)
+
+    def model_for(
+        self, device: Union[str, DeviceSpec], tier: str = DEFAULT_TIER
+    ) -> CostModel:
+        """The model that serves ``device`` on ``tier`` (exact entry, else fallback)."""
+        name = device if isinstance(device, str) else device.name
+        tier = validate_tier(tier)
+        with self._lock:
+            table = self._fast_models if tier == "fast" else self._models
+            model = table.get(name) or table.get(DEFAULT_DEVICE)
         if model is None:
+            if tier == "fast":
+                raise ServingError(
+                    f"no fast-tier model registered for device {name!r} "
+                    f"(fast devices: {', '.join(self.fast_devices) or 'none'}; "
+                    "register a distilled student with register_fast_model, or "
+                    "query tier='accurate')"
+                )
             raise ServingError(
                 f"no model registered for device {name!r} "
                 f"(devices: {', '.join(self.devices)}; add one under '*' as fallback)"
             )
         return model
 
-    def swap_model(self, device: str, model: ModelLike) -> None:
-        """Install (or replace) the model serving ``device``.
+    def register_fast_model(self, device: str, model: ModelLike) -> None:
+        """Install (or replace) the fast-tier model serving ``device``."""
+        self.swap_model(device, model, tier="fast")
+
+    def swap_model(self, device: str, model: ModelLike, tier: str = DEFAULT_TIER) -> None:
+        """Install (or replace) the model serving ``device`` on ``tier``.
 
         Cached *predictions* are dropped — they were produced by the old
         weights — but cached *features* are kept: a feature row only depends
@@ -222,18 +272,23 @@ class PredictionService:
 
         With a device-sharded prediction cache only the swapped device's
         shard is invalidated (unless the device is the ``"*"`` fallback,
-        whose model may have answered queries for any device).
+        whose model may have answered queries for any device).  Swapping one
+        tier invalidates the device shard as a whole — conservative for the
+        untouched tier, but cache keys are tier-qualified so correctness
+        never depends on it.
         """
+        tier = validate_tier(tier)
         with self._lock:
             if self._queue:
                 self.flush()
+            table = self._fast_models if tier == "fast" else self._models
             # Reuse the adapter of a model already serving another device, so the
             # one-predictor-call-per-distinct-model batch grouping is preserved.
             adapter = next(
-                (existing for existing in self._models.values() if existing.wraps(model)),
+                (existing for existing in table.values() if existing.wraps(model)),
                 None,
             )
-            self._models[device] = adapter if adapter is not None else _as_serving_model(model)
+            table[device] = adapter if adapter is not None else _as_serving_model(model)
             invalidate_device = getattr(self.prediction_cache, "invalidate_device", None)
             if invalidate_device is not None and device != DEFAULT_DEVICE:
                 invalidate_device(device)
@@ -261,19 +316,29 @@ class PredictionService:
     # Query path
     # ------------------------------------------------------------------
     def submit(
-        self, program: TensorProgram, device: Union[str, DeviceSpec]
+        self,
+        program: TensorProgram,
+        device: Union[str, DeviceSpec],
+        tier: str = DEFAULT_TIER,
     ) -> PendingPrediction:
         """Enqueue one query; returns a ticket resolved at the next flush.
 
         Cache hits resolve immediately; duplicate in-flight queries coalesce
         onto the same queue entry, so a batch full of repeats still costs one
-        featurization and one predictor row.
+        featurization and one predictor row.  The tier is folded into the
+        cache key (alongside the model's ``cache_signature``), so a fast-tier
+        answer can never be returned to an accurate-tier query or vice versa.
         """
         device_name = device if isinstance(device, str) else device.name
+        tier = validate_tier(tier)
         with self._lock:
-            model = self.model_for(device_name)
-            key = program_cache_key(program, device_name, model.cache_signature)
+            model = self.model_for(device_name, tier=tier)
+            key = program_cache_key(program, device_name, (tier, model.cache_signature))
             self.stats.queries += 1
+            if tier == "fast":
+                self.stats.fast_tier_queries += 1
+            else:
+                self.stats.accurate_tier_queries += 1
 
             ticket = PendingPrediction(self, key, device_name)
             cached = self.prediction_cache.get(key)
@@ -288,7 +353,11 @@ class PredictionService:
                 return ticket
 
             self._queue[key] = _QueueEntry(
-                program=program, device=device_name, model_id=id(model), tickets=[ticket]
+                program=program,
+                device=device_name,
+                model_id=id(model),
+                tier=tier,
+                tickets=[ticket],
             )
             if len(self._queue) >= self.max_batch_size:
                 self.flush()
@@ -349,7 +418,8 @@ class PredictionService:
                 groups.setdefault(entry.model_id, []).append(key)
 
             for keys in groups.values():
-                model = self.model_for(queue[keys[0]].device)
+                head = queue[keys[0]]
+                model = self.model_for(head.device, tier=head.tier)
                 predictions = self._predict_group(model, queue, keys)
                 self.stats.batches += 1
                 self.stats.predictions_computed += len(keys)
@@ -364,18 +434,24 @@ class PredictionService:
     # Synchronous convenience API
     # ------------------------------------------------------------------
     def predict(
-        self, programs: Sequence[TensorProgram], device: Union[str, DeviceSpec]
+        self,
+        programs: Sequence[TensorProgram],
+        device: Union[str, DeviceSpec],
+        tier: str = DEFAULT_TIER,
     ) -> np.ndarray:
         """Latency (seconds) per program, in input order, via one batched pass."""
-        tickets = [self.submit(program, device) for program in programs]
+        tickets = [self.submit(program, device, tier=tier) for program in programs]
         self.flush()
         return np.asarray([ticket.result() for ticket in tickets], dtype=np.float64)
 
     def predict_program(
-        self, program: TensorProgram, device: Union[str, DeviceSpec]
+        self,
+        program: TensorProgram,
+        device: Union[str, DeviceSpec],
+        tier: str = DEFAULT_TIER,
     ) -> float:
         """Latency (seconds) of one program (cache-accelerated)."""
-        return float(self.predict([program], device)[0])
+        return float(self.predict([program], device, tier=tier)[0])
 
     def predict_model(
         self,
@@ -384,6 +460,7 @@ class PredictionService:
         batch_size: int = 1,
         seed: Union[int, str, None] = 0,
         compose: str = "replay",
+        tier: str = DEFAULT_TIER,
     ) -> EndToEndPrediction:
         """End-to-end model latency through the replayer, cost from this service.
 
@@ -399,12 +476,13 @@ class PredictionService:
         from repro.graph.zoo import build_model
         from repro.replay.e2e import predict_end_to_end
 
+        tier = validate_tier(tier)
         device_spec = get_device(device) if isinstance(device, str) else device
-        backend = self.model_for(device_spec)
+        backend = self.model_for(device_spec, tier=tier)
         ensure_model_level(backend, ServingError)
 
         def cost_fn(programs: List[TensorProgram]) -> Dict[str, float]:
-            values = self.predict(programs, device_spec)
+            values = self.predict(programs, device_spec, tier=tier)
             return {
                 program.task.workload_key: float(value)
                 for program, value in zip(programs, values)
@@ -441,6 +519,9 @@ class PredictionService:
                 "batches": self.stats.batches,
                 "programs_featurized": self.stats.programs_featurized,
                 "predictions_computed": self.stats.predictions_computed,
+                "fast_tier_queries": self.stats.fast_tier_queries,
+                "accurate_tier_queries": self.stats.accurate_tier_queries,
+                "fast_devices": self.fast_devices,
                 "feature_cache": self.feature_cache.stats(),
                 "prediction_cache": self.prediction_cache.stats(),
             }

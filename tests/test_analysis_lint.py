@@ -38,6 +38,7 @@ EXPECTED_RULES = {
     "thread-global",
     "protocol-conformance",
     "broad-except",
+    "inference-autograd",
 }
 
 
@@ -743,6 +744,85 @@ class TestBroadExcept:
             """,
         )
         assert rule_ids(lint(tmp_path, rules=["broad-except"])) == []
+
+
+# ---------------------------------------------------------------------------
+# inference-autograd
+# ---------------------------------------------------------------------------
+
+
+class TestInferenceAutograd:
+    def test_tensor_construction_in_serving_flags(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            from repro.nn.tensor import Tensor
+
+            def score(model, x):
+                return model(Tensor(x))
+            """,
+        )
+        report = lint(tmp_path, rules=["inference-autograd"])
+        assert rule_ids(report) == ["inference-autograd"]
+        assert "autograd graph" in report.findings[0].message
+
+    def test_qualified_tensor_construction_flags(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            from repro import nn
+
+            def score(model, x):
+                return model(nn.Tensor(x))
+            """,
+        )
+        assert rule_ids(lint(tmp_path, rules=["inference-autograd"])) == [
+            "inference-autograd"
+        ]
+
+    def test_direct_forward_call_flags(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            def score(predictor, features):
+                return predictor.forward(features)
+            """,
+        )
+        report = lint(tmp_path, rules=["inference-autograd"])
+        assert rule_ids(report) == ["inference-autograd"]
+        assert "infer" in report.findings[0].message
+
+    def test_infer_path_passes(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            def score(predictor, features):
+                return predictor.infer(features)
+
+            def batch(model, programs, device):
+                return model.predict_programs(programs, device)
+            """,
+        )
+        assert rule_ids(lint(tmp_path, rules=["inference-autograd"])) == []
+
+    def test_out_of_scope_package_passes(self, tmp_path):
+        """Training code legitimately builds graphs: nn/ and core/ are free
+        to construct Tensors and call forward."""
+        write(
+            tmp_path,
+            "repro/core/mod.py",
+            """
+            from repro.nn.tensor import Tensor
+
+            def loss(model, x):
+                return model.forward(Tensor(x, requires_grad=True))
+            """,
+        )
+        assert rule_ids(lint(tmp_path, rules=["inference-autograd"])) == []
 
 
 # ---------------------------------------------------------------------------

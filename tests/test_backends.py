@@ -96,7 +96,14 @@ class TestNaming:
 
     def test_backend_registry_shares_the_name_table(self):
         assert resolve_backend_name("autotvm_xgboost") == "xgboost"
-        assert set(available_backends()) == {"cdmpp", "xgboost", "tlp", "habitat", "tiramisu"}
+        assert set(available_backends()) == {
+            "cdmpp",
+            "xgboost",
+            "tlp",
+            "habitat",
+            "tiramisu",
+            "distilled",
+        }
         with pytest.raises(TrainingError, match="available backends"):
             resolve_backend_name("nnlqp")  # known method, not constructible
 
